@@ -1,0 +1,38 @@
+# Development convenience targets.
+#
+#   make install    editable install (falls back to setup.py develop on
+#                   environments without PEP 660 support)
+#   make test       full unit/property/integration suite
+#   make bench      regenerate every paper table & figure
+#   make figures    alias for bench (outputs land in benchmarks/results/)
+#   make examples   run all runnable examples
+#   make artifacts  test + bench with logs captured at the repo root
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures examples artifacts clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures: bench
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+artifacts:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,64 @@
+"""Ablation — top-down maximal-core search vs full decomposition.
+
+``max_triangle_kcore`` binary-searches the densest level with vertex-core
+pruned erosions.  It wins when the densest structure sits far above the
+bulk of the graph (needle-in-haystack: planted cliques, PPI complexes) and
+loses when density is uniformly shallow (the erosions then re-touch most
+edges per probe) — both regimes are measured so users know which they are
+in.
+"""
+
+from __future__ import annotations
+
+from repro.core import max_triangle_kcore, triangle_kcore_decomposition
+
+from common import format_table, timed, write_report
+
+DATASETS = ["ppi", "stocks", "astro", "livejournal"]
+
+
+def test_bench_max_triangle_kcore(benchmark, dataset_loader):
+    graph = dataset_loader("ppi").graph
+    benchmark.pedantic(lambda: max_triangle_kcore(graph), rounds=1, iterations=1)
+
+
+def test_ablation_maxcore_report(dataset_loader, benchmark):
+    benchmark.pedantic(
+        lambda: _ablation_maxcore_report(dataset_loader), rounds=1, iterations=1
+    )
+
+
+def _ablation_maxcore_report(dataset_loader):
+    rows = []
+    for name in DATASETS:
+        graph = dataset_loader(name).graph
+        (k, sub), topdown_seconds = timed(lambda: max_triangle_kcore(graph))
+        result, full_seconds = timed(lambda: triangle_kcore_decomposition(graph))
+        assert k == result.max_kappa, name
+        rows.append(
+            (
+                name,
+                graph.num_edges,
+                k,
+                sub.num_vertices,
+                f"{topdown_seconds:.4f}",
+                f"{full_seconds:.4f}",
+                f"{full_seconds / max(topdown_seconds, 1e-9):.1f}x",
+            )
+        )
+    lines = format_table(
+        (
+            "dataset", "|E|", "k_max", "core |V|", "top-down(s)", "full(s)",
+            "speedup",
+        ),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "top-down wins when k_max is far above the bulk density (ppi,"
+    )
+    lines.append(
+        "stocks); on uniformly shallow graphs (livejournal stand-in, k_max"
+    )
+    lines.append("~3) the probes re-touch most edges and full peeling wins.")
+    write_report("ablation_maxcore", lines)

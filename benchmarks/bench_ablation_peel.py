@@ -1,0 +1,81 @@
+"""Ablation — Algorithm 1 implementation choices.
+
+Two design decisions the paper highlights:
+
+* bucket-sorted edge list (O(1) decrement, step 16) vs a binary heap;
+* recomputing each edge's triangles on demand vs storing the full
+  edge->triangles index (§IV-A last paragraph).
+
+All three variants compute identical kappa values (asserted in tests);
+this bench measures the cost differences on the mid-sized stand-ins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    triangle_kcore_decomposition,
+    triangle_kcore_heap,
+    triangle_kcore_stored_triangles,
+)
+
+from common import format_table, timed, write_report
+
+ABLATION_DATASETS = ["ppi", "astro", "epinions", "wiki"]
+
+VARIANTS = (
+    ("bucket+recompute (default)", triangle_kcore_decomposition),
+    ("heap+recompute", triangle_kcore_heap),
+    ("bucket+stored-triangles", triangle_kcore_stored_triangles),
+)
+
+
+@pytest.mark.parametrize("name", ABLATION_DATASETS)
+@pytest.mark.parametrize("label,fn", VARIANTS, ids=[v[0] for v in VARIANTS])
+def test_bench_peel_variant(benchmark, dataset_loader, name, label, fn):
+    graph = dataset_loader(name).graph
+    benchmark.pedantic(lambda: fn(graph), rounds=1, iterations=1)
+
+
+def test_ablation_peel_report(dataset_loader, benchmark):
+    benchmark.pedantic(lambda: _ablation_peel_report(dataset_loader), rounds=1, iterations=1)
+
+
+def _ablation_peel_report(dataset_loader):
+    rows = []
+    for name in ABLATION_DATASETS:
+        graph = dataset_loader(name).graph
+        timings = {}
+        kappas = {}
+        for label, fn in VARIANTS:
+            result, seconds = timed(lambda fn=fn: fn(graph))
+            timings[label] = seconds
+            kappas[label] = result.kappa
+        baseline = kappas[VARIANTS[0][0]]
+        assert all(kappa == baseline for kappa in kappas.values()), name
+        rows.append(
+            (
+                name,
+                graph.num_edges,
+                f"{timings[VARIANTS[0][0]]:.3f}",
+                f"{timings[VARIANTS[1][0]]:.3f}",
+                f"{timings[VARIANTS[2][0]]:.3f}",
+            )
+        )
+    lines = format_table(
+        (
+            "dataset", "|E|", "bucket+recompute(s)", "heap+recompute(s)",
+            "bucket+stored(s)",
+        ),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "ablation: the bucket queue avoids the heap's log factor; the"
+    )
+    lines.append(
+        "stored-triangle index trades O(|Tri|) memory for skipping repeated"
+    )
+    lines.append("common-neighbor intersections (paper SIV-A last paragraph).")
+    write_report("ablation_peel", lines)

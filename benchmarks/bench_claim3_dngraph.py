@@ -1,0 +1,66 @@
+"""Section VI (Claim 3) — kappa(e) equals valid lambda(e).
+
+The paper proves the DN-Graph iterative estimators converge to exactly the
+Triangle K-Core numbers and attributes their cost to the number of
+iterations (66 for Flickr in the original).  This bench asserts equality
+on every capable dataset and records the iteration counts that explain
+Table II's gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import bitridn, is_valid_lambda, tridn
+from repro.core import triangle_kcore_decomposition
+
+from common import DNGRAPH_CAPABLE, format_table, write_report
+
+
+@pytest.mark.parametrize("name", sorted(DNGRAPH_CAPABLE))
+def test_bench_tridn(benchmark, dataset_loader, name):
+    graph = dataset_loader(name).graph
+    benchmark.pedantic(lambda: tridn(graph), rounds=1, iterations=1)
+
+
+def test_claim3_report(dataset_loader, benchmark):
+    benchmark.pedantic(lambda: _claim3_report(dataset_loader), rounds=1, iterations=1)
+
+
+def _claim3_report(dataset_loader):
+    rows = []
+    for name in sorted(DNGRAPH_CAPABLE):
+        graph = dataset_loader(name).graph
+        kappa = triangle_kcore_decomposition(graph).kappa
+        tridn_result = tridn(graph)
+        bitridn_result = bitridn(graph)
+        assert tridn_result.lambda_ == kappa, name
+        assert bitridn_result.lambda_ == kappa, name
+        assert is_valid_lambda(graph, kappa), name
+        rows.append(
+            (
+                name,
+                graph.num_edges,
+                tridn_result.iterations,
+                tridn_result.updates,
+                bitridn_result.iterations,
+                bitridn_result.updates,
+            )
+        )
+    lines = format_table(
+        (
+            "dataset", "|E|", "TriDN sweeps", "TriDN updates",
+            "BiTriDN rounds", "BiTriDN updates",
+        ),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "shape check vs paper SVI: both DN-Graph variants converge to"
+    )
+    lines.append(
+        "exactly kappa(e) on every dataset; BiTriDN needs fewer edge "
+        "updates than TriDN but both repeat triangle work the one-shot "
+        "peeling avoids."
+    )
+    write_report("claim3_dngraph", lines)

@@ -1,0 +1,67 @@
+"""Figure 11 — New Join Cliques in DBLP 2000 -> 2001.
+
+The paper's densest New Join clique: Wang, Maier and Shapiro (a 3-clique
+in 2000) joined by six authors absent from DBLP 2000, forming a 9-vertex
+clique around their 2001 paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    NEW_JOIN_JOINERS,
+    NEW_JOIN_SEED_AUTHORS,
+    snapshot_pair,
+)
+from repro.templates import NEW_JOIN, detect_on_snapshots
+from repro.viz import density_plot_svg, save_svg
+
+from common import RESULTS_DIR, format_table, write_report
+
+
+@pytest.fixture(scope="module")
+def detection(dataset_loader):
+    dataset = dataset_loader("dblp")
+    old, new = snapshot_pair(dataset, "2000", "2001")
+    return detect_on_snapshots(old, new, NEW_JOIN)
+
+
+def test_bench_new_join_detection(benchmark, dataset_loader):
+    dataset = dataset_loader("dblp")
+    old, new = snapshot_pair(dataset, "2000", "2001")
+    benchmark.pedantic(
+        lambda: detect_on_snapshots(old, new, NEW_JOIN), rounds=1, iterations=1
+    )
+
+
+def test_fig11_report(detection, dataset_loader, benchmark):
+    benchmark.pedantic(lambda: _fig11_report(detection, dataset_loader), rounds=1, iterations=1)
+
+
+def _fig11_report(detection, dataset_loader):
+    rows = []
+    for index, (kappa, vertices) in enumerate(detection.densest_cliques()):
+        if index >= 5:
+            break
+        rows.append((index + 1, kappa + 2, ", ".join(sorted(vertices)[:5]) + "..."))
+    plot = detection.plot(title="New Join Cliques, DBLP 2001")
+    save_svg(density_plot_svg(plot), str(RESULTS_DIR / "fig11_new_join.svg"))
+
+    lines = format_table(("rank", "~clique size", "members"), rows)
+    lines.append("")
+    lines.append(
+        "shape check vs paper Fig 11: densest New Join clique has 9 vertices"
+    )
+    lines.append("(3 original authors + 6 first-appearance joiners).")
+    write_report("fig11_new_join", lines)
+
+    kappa, vertices = next(detection.densest_cliques())
+    assert kappa + 2 == 9
+    assert set(NEW_JOIN_SEED_AUTHORS + NEW_JOIN_JOINERS) <= vertices
+
+    # The joiners really are absent from the 2000 snapshot.
+    dataset = dataset_loader("dblp")
+    old, _ = snapshot_pair(dataset, "2000", "2001")
+    for author in NEW_JOIN_JOINERS:
+        assert not old.has_vertex(author)

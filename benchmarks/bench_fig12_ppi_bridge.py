@@ -1,0 +1,118 @@
+"""Figure 12 — static Bridge Cliques between PPI complexes.
+
+The paper defines an edge as "new" when it connects two different
+complexes and runs the Bridge detector on the static PPI graph.  Findings:
+bridge clique 1 joins PRE1 (20S proteasome) to the 19/22S regulator
+complex; bridge cliques 2 and 3 join GLC7 and RNA14 to the mRNA cleavage
+and polyadenylation specificity factor (CPF) complex, with heavy overlap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import COMPLEX_CPF
+from repro.templates import BRIDGE, detect_template_cliques, labeling_from_partition
+from repro.viz import density_plot_svg, graph_drawing_svg, save_svg
+
+from common import RESULTS_DIR, format_table, write_report
+
+
+@pytest.fixture(scope="module")
+def detection(dataset_loader):
+    dataset = dataset_loader("ppi")
+    labeling = labeling_from_partition(dataset.graph, dataset.vertex_groups)
+    return dataset, detect_template_cliques(dataset.graph, labeling, BRIDGE)
+
+
+def test_bench_static_bridge_detection(benchmark, dataset_loader):
+    dataset = dataset_loader("ppi")
+    labeling = labeling_from_partition(dataset.graph, dataset.vertex_groups)
+    benchmark.pedantic(
+        lambda: detect_template_cliques(dataset.graph, labeling, BRIDGE),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig12_report(detection, benchmark):
+    benchmark.pedantic(lambda: _fig12_report(detection), rounds=1, iterations=1)
+
+
+def _fig12_report(detection):
+    dataset, result = detection
+    rows = []
+    found = {"PRE1": None, "GLC7": None, "RNA14": None}
+    cliques = []
+    for index, (kappa, vertices) in enumerate(result.densest_cliques()):
+        if index >= 10:
+            break
+        cliques.append((kappa, vertices))
+        bridges = sorted(v for v in found if v in vertices)
+        for bridge_protein in bridges:
+            if found[bridge_protein] is None:
+                found[bridge_protein] = index + 1
+        groups = sorted({dataset.vertex_groups[v] for v in vertices})
+        rows.append(
+            (
+                index + 1,
+                kappa + 2,
+                ",".join(bridges) or "-",
+                "; ".join(g[:28] for g in groups[:3]),
+            )
+        )
+
+    plot = result.plot(title="Bridge Cliques between PPI complexes")
+    save_svg(density_plot_svg(plot), str(RESULTS_DIR / "fig12_ppi_bridge.svg"))
+
+    # Drawing of the PRE1 bridge region (the paper's Fig 12(b)).
+    for kappa, vertices in cliques:
+        if "PRE1" in vertices:
+            region = dataset.graph.subgraph(vertices)
+            inter = [
+                (u, v)
+                for u, v in region.edges()
+                if dataset.vertex_groups[u] != dataset.vertex_groups[v]
+            ]
+            save_svg(
+                graph_drawing_svg(region, highlight_edges=inter),
+                str(RESULTS_DIR / "fig12_pre1_bridge.svg"),
+            )
+            break
+
+    lines = format_table(
+        ("rank", "~clique size", "bridge proteins", "complexes"), rows
+    )
+    lines.append("")
+    lines.append(
+        "shape check vs paper Fig 12: PRE1 bridges 20S proteasome <-> 19/22S"
+    )
+    lines.append(
+        "regulator; GLC7 and RNA14 bridge into the CPF complex with heavy "
+        "overlap."
+    )
+    write_report("fig12_ppi_bridge", lines)
+
+    assert found["PRE1"] is not None
+    assert found["GLC7"] is not None or found["RNA14"] is not None
+
+
+def test_fig12_bridge_cliques_overlap(detection, benchmark):
+    benchmark.pedantic(lambda: _fig12_bridge_cliques_overlap(detection), rounds=1, iterations=1)
+
+
+def _fig12_bridge_cliques_overlap(detection):
+    """Bridge cliques 2 and 3 share the CPF complex members (paper: 'a lot
+    of overlap vertices, which indicate ... closely related in function')."""
+    dataset, result = detection
+    glc7_clique = rna14_clique = None
+    for index, (kappa, vertices) in enumerate(result.densest_cliques()):
+        if index >= 10:
+            break
+        if "GLC7" in vertices and glc7_clique is None:
+            glc7_clique = vertices
+        if "RNA14" in vertices and rna14_clique is None:
+            rna14_clique = vertices
+    assert glc7_clique and rna14_clique
+    overlap = glc7_clique & rna14_clique
+    assert len(overlap & set(COMPLEX_CPF)) >= 6

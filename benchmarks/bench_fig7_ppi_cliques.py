@@ -1,0 +1,107 @@
+"""Figure 7 — PPI case study: three circled cliques.
+
+The paper reads three approximate cliques off the PPI density plot:
+clique 1 (the DN-Graph of Wang et al.), clique 2 (an exact 10-vertex
+clique) and clique 3 (10 vertices shown as 9 because one edge is missing).
+We regenerate the plot, detect the plateaus, verify each planted structure
+and dump the annotated SVG plus per-clique drawings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import clique_report, find_plateaus
+from repro.core import triangle_kcore_decomposition
+from repro.datasets import (
+    CLIQUE1_PROTEINS,
+    CLIQUE2_PROTEINS,
+    CLIQUE3_MISSING_EDGE,
+    CLIQUE3_PROTEINS,
+)
+from repro.viz import density_plot, density_plot_svg, graph_drawing_svg, save_svg
+
+from common import RESULTS_DIR, format_table, write_report
+
+
+@pytest.fixture(scope="module")
+def ppi(dataset_loader):
+    dataset = dataset_loader("ppi")
+    result = triangle_kcore_decomposition(dataset.graph)
+    plot = density_plot(dataset.graph, result, title="PPI clique distribution")
+    return dataset, result, plot
+
+
+def test_bench_ppi_decomposition(benchmark, dataset_loader):
+    graph = dataset_loader("ppi").graph
+    benchmark.pedantic(
+        lambda: triangle_kcore_decomposition(graph), rounds=1, iterations=1
+    )
+
+
+def test_fig7_report(ppi, benchmark):
+    benchmark.pedantic(lambda: _fig7_report(ppi), rounds=1, iterations=1)
+
+
+def _fig7_report(ppi):
+    dataset, result, plot = ppi
+    rows = []
+    heights = dict(zip(plot.order, plot.heights))
+    for label, members in (
+        ("clique 1 (Lsm module)", CLIQUE1_PROTEINS),
+        ("clique 2 (exact 10-clique)", CLIQUE2_PROTEINS),
+        ("clique 3 (missing APC4-CDC16)", CLIQUE3_PROTEINS),
+    ):
+        report = clique_report(dataset.graph, members)
+        plot_height = max(heights[m] for m in members)
+        rows.append(
+            (
+                label,
+                len(members),
+                plot_height,
+                f"{report.density:.3f}",
+                len(report.missing_edges),
+            )
+        )
+        plot.add_marker(members, label=label)
+        drawing = graph_drawing_svg(
+            dataset.graph.subgraph(members),
+            highlight_edges=[],
+        )
+        save_svg(drawing, str(RESULTS_DIR / f"fig7_{label.split()[1]}.svg"))
+    save_svg(density_plot_svg(plot), str(RESULTS_DIR / "fig7_ppi_plot.svg"))
+
+    lines = format_table(
+        ("clique", "vertices", "plot height", "density", "missing edges"),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "shape check vs paper Fig 7: clique 2 reads as a 10-clique; clique"
+    )
+    lines.append(
+        "3 reads as 9 because the APC4-CDC16 edge is absent; clique 1 is a"
+    )
+    lines.append("dense module surfaced the same way the DN-Graph paper found it.")
+    write_report("fig7_ppi_cliques", lines)
+
+    # The paper's concrete claims.
+    assert rows[1][2] == 10  # clique 2 at height 10
+    assert rows[2][2] == 9  # clique 3 shown as 9
+    assert rows[2][4] == 1  # exactly one missing edge
+    assert not dataset.graph.has_edge(*CLIQUE3_MISSING_EDGE)
+
+
+def test_fig7_plateaus_surface_planted_structure(ppi, benchmark):
+    benchmark.pedantic(lambda: _fig7_plateaus_surface_planted_structure(ppi), rounds=1, iterations=1)
+
+
+def _fig7_plateaus_surface_planted_structure(ppi):
+    dataset, result, plot = ppi
+    plateaus = find_plateaus(plot, min_height=8)
+    covered = set()
+    for plateau in plateaus:
+        covered |= set(plateau.vertices)
+    for members in (CLIQUE1_PROTEINS, CLIQUE2_PROTEINS, CLIQUE3_PROTEINS):
+        overlap = len(set(members) & covered)
+        assert overlap >= len(members) - 1, members

@@ -1,0 +1,108 @@
+"""Figure 8 — Dual View Plots on consecutive Wiki snapshots.
+
+The paper selects the three densest changed cliques in plot(b) — a grown
+clique (green triangle, the "Astrology" page joining an astronomy clique)
+and two clique merges (red rectangle, orange ellipse) — and locates their
+vertices in plot(a) to explain how each structure evolved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import top_plateaus
+from repro.datasets import (
+    ASTROLOGY_CLIQUE,
+    ASTRONOMY_CLIQUE,
+    TOPIC_A_MERGED,
+    TOPIC_B_MERGED,
+)
+from repro.viz import dual_view_from_snapshots, dual_view_svg, save_svg
+
+from common import RESULTS_DIR, format_table, write_report
+
+
+@pytest.fixture(scope="module")
+def dual(dataset_loader):
+    dataset = dataset_loader("wiki_snapshots")
+    return dataset, dual_view_from_snapshots(*dataset.snapshots)
+
+
+def test_bench_dual_view_construction(benchmark, dataset_loader):
+    dataset = dataset_loader("wiki_snapshots")
+    old, new = dataset.snapshots
+
+    benchmark.pedantic(
+        lambda: dual_view_from_snapshots(old, new), rounds=1, iterations=1
+    )
+
+
+def test_fig8_report(dual, benchmark):
+    benchmark.pedantic(lambda: _fig8_report(dual), rounds=1, iterations=1)
+
+
+def _fig8_report(dual):
+    dataset, plots = dual
+    events = [
+        ("green triangle: clique growth", ASTRONOMY_CLIQUE + ["Astrology"], 11),
+        ("red rectangle: topic-A merge", TOPIC_A_MERGED, 10),
+        ("orange ellipse: topic-B merge", TOPIC_B_MERGED, 9),
+    ]
+    after_heights = dict(zip(plots.after.order, plots.after.heights))
+    before_heights = dict(zip(plots.before.order, plots.before.heights))
+    rows = []
+    for label, members, expected_size in events:
+        plots.select(members, label=label)
+        after_peak = max(after_heights[m] for m in members)
+        before_peak = max(before_heights.get(m, 0) for m in members)
+        rows.append((label, len(members), before_peak, after_peak, expected_size))
+    save_svg(dual_view_svg(plots), str(RESULTS_DIR / "fig8_dual_view.svg"))
+
+    lines = format_table(
+        ("event", "vertices", "peak before", "peak after", "expected size"),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "shape check vs paper Fig 8: each changed clique peaks in plot(b)"
+    )
+    lines.append(
+        "at its merged size while plot(a) still shows the pre-merge pieces."
+    )
+    write_report("fig8_dual_view", lines)
+
+    for label, members, expected_size in events:
+        after_peak = max(after_heights[m] for m in members)
+        assert after_peak == expected_size, label
+
+
+def test_fig8_top_changed_plateaus_are_the_planted_events(dual, benchmark):
+    benchmark.pedantic(lambda: _fig8_top_changed_plateaus_are_the_planted_events(dual), rounds=1, iterations=1)
+
+
+def _fig8_top_changed_plateaus_are_the_planted_events(dual):
+    dataset, plots = dual
+    plateaus = top_plateaus(plots.after, 5, min_height=6)
+    plateau_vertices = set()
+    for plateau in plateaus:
+        plateau_vertices |= set(plateau.vertices)
+    for members in (ASTRONOMY_CLIQUE, TOPIC_A_MERGED, TOPIC_B_MERGED):
+        overlap = len(set(members) & plateau_vertices)
+        assert overlap >= len(members) - 2, members
+
+
+def test_fig8_astrology_story(dual, benchmark):
+    benchmark.pedantic(lambda: _fig8_astrology_story(dual), rounds=1, iterations=1)
+
+
+def _fig8_astrology_story(dual):
+    """Drill-down of Fig 8(c): before, Astrology sits in a 5-clique and the
+    astronomy articles in a 10-clique; after, they form one 11-clique."""
+    dataset, plots = dual
+    before, after = dataset.snapshots
+    from repro.analysis import clique_report
+
+    assert clique_report(before, ASTROLOGY_CLIQUE).is_clique
+    assert clique_report(before, ASTRONOMY_CLIQUE).is_clique
+    assert not clique_report(before, ASTRONOMY_CLIQUE + ["Astrology"]).is_clique
+    assert clique_report(after, ASTRONOMY_CLIQUE + ["Astrology"]).is_clique

@@ -1,0 +1,91 @@
+"""Extension bench — dynamic maintenance over a forest-fire growth stream.
+
+Table III uses random churn on a fixed graph; real evolving networks
+*grow* (the paper's related work [13]).  This bench replays a forest-fire
+growth process through the incremental maintainer, snapshot by snapshot,
+against recompute-per-snapshot — the workload an online monitoring system
+would actually run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+from repro.graph import SnapshotStream, growth_snapshots
+from repro.graph.io import graph_diff
+
+from common import format_table, write_report
+
+VERTICES = 4000
+SNAPSHOTS = 16
+
+
+def _stream() -> SnapshotStream:
+    return SnapshotStream(
+        growth_snapshots(VERTICES, SNAPSHOTS, p_forward=0.4, seed=13)
+    )
+
+
+def test_bench_growth_replay(benchmark):
+    stream = _stream()
+
+    def run():
+        maintainer = DynamicTriangleKCore(stream[0])
+        for index in range(1, len(stream)):
+            added, removed = graph_diff(stream[index - 1], stream[index])
+            for vertex in stream[index].vertices():
+                if not maintainer.graph.has_vertex(vertex):
+                    maintainer.add_vertex(vertex)
+            maintainer.apply(added=added, removed=removed)
+        return maintainer
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_growth_stream_report(benchmark):
+    benchmark.pedantic(_growth_stream_report, rounds=1, iterations=1)
+
+
+def _growth_stream_report():
+    stream = _stream()
+    rows = []
+    maintainer = DynamicTriangleKCore(stream[0])
+    for index in range(1, len(stream)):
+        added, removed = graph_diff(stream[index - 1], stream[index])
+        for vertex in stream[index].vertices():
+            if not maintainer.graph.has_vertex(vertex):
+                maintainer.add_vertex(vertex)
+        start = time.perf_counter()
+        maintainer.apply(added=added, removed=removed)
+        update_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fresh = triangle_kcore_decomposition(stream[index])
+        recompute_seconds = time.perf_counter() - start
+        assert maintainer.kappa == fresh.kappa, index
+
+        rows.append(
+            (
+                f"t{index}",
+                stream[index].num_edges,
+                len(added),
+                f"{recompute_seconds:.4f}",
+                f"{update_seconds:.4f}",
+                f"{recompute_seconds / max(update_seconds, 1e-9):.1f}x",
+            )
+        )
+    lines = format_table(
+        ("snapshot", "|E|", "new edges", "recompute(s)", "update(s)", "speedup"),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "growth workload: each snapshot adds a batch of forest-fire edges; "
+        "the maintainer's state is verified against a fresh Algorithm 1 "
+        "run at every step.  Early snapshots churn ~1/16 of all edges at "
+        "once (near the incremental/recompute crossover); as the graph "
+        "grows, the same absolute batch is relatively smaller and the "
+        "incremental path pulls ahead."
+    )
+    write_report("growth_stream", lines)

@@ -1,0 +1,69 @@
+"""Extension bench — noise sensitivity of the PPI case study.
+
+The paper's Fig 7 clique 3 shows how a *single* missing edge reads on the
+density plot (10-clique at height 9).  This bench generalizes the
+question: how much random edge loss can the PPI stand-in absorb before
+its planted cliques stop surfacing?
+"""
+
+from __future__ import annotations
+
+from repro.analysis import robustness_report
+
+from common import format_table, write_report
+
+FRACTIONS = (0.01, 0.05, 0.1, 0.2, 0.4)
+
+
+def test_bench_robustness(benchmark, dataset_loader):
+    graph = dataset_loader("ppi").graph
+    benchmark.pedantic(
+        lambda: robustness_report(
+            graph, fractions=(0.05,), trials_per_fraction=1, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_robustness_report(dataset_loader, benchmark):
+    benchmark.pedantic(
+        lambda: _robustness_report(dataset_loader), rounds=1, iterations=1
+    )
+
+
+def _robustness_report(dataset_loader):
+    graph = dataset_loader("ppi").graph
+    report = robustness_report(
+        graph, fractions=FRACTIONS, trials_per_fraction=3, seed=5
+    )
+    rows = []
+    for fraction in FRACTIONS:
+        rows.append(
+            (
+                f"{fraction:.0%}",
+                f"{report.mean_core_kappa_after(fraction):.1f}"
+                f"/{report.baseline_max_kappa}",
+                f"{report.mean_core_overlap(fraction):.2f}",
+            )
+        )
+    lines = format_table(
+        ("edge loss", "core kappa retained", "champion overlap"), rows
+    )
+    lines.append("")
+    lines.append(
+        f"baseline core: the planted 10-clique (kappa "
+        f"{report.baseline_max_kappa}); breakdown (<50% density retained) "
+        f"at ~{report.breakdown_fraction():.0%} edge loss."
+    )
+    lines.append(
+        "reading: the Fig 7 plateaus are robust to realistic PPI noise"
+    )
+    lines.append(
+        "levels (a few percent); champion overlap is volatile because "
+        "near-equal cores swap ranks under noise."
+    )
+    write_report("robustness_ppi", lines)
+
+    assert report.mean_core_kappa_after(0.01) >= 0.8 * report.baseline_max_kappa
+    assert report.mean_core_kappa_after(0.4) < report.mean_core_kappa_after(0.01)

@@ -1,0 +1,26 @@
+"""Fixtures shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.datasets import Dataset, load
+
+_CACHE: dict[str, Dataset] = {}
+
+
+@pytest.fixture(scope="session")
+def dataset_loader():
+    """Session-cached dataset loader (generation is deterministic)."""
+
+    def get(name: str) -> Dataset:
+        if name not in _CACHE:
+            _CACHE[name] = load(name)
+        return _CACHE[name]
+
+    return get

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Online density monitoring of a temporal interaction stream.
+
+Simulates a message stream in which a coordinated group starts interacting
+heavily partway through, and shows the sliding-window monitor raising an
+alert the moment their clique-like structure forms — the paper's event-
+detection motivation, running online on top of the incremental
+maintenance algorithms.
+
+Run with::
+
+    python examples/streaming_monitor.py
+"""
+
+import random
+
+from repro.analysis import SlidingWindowDensity
+
+
+def interaction_stream(total_steps: int, seed: int = 7):
+    """Background chatter among 60 actors; a 6-actor cell activates at
+    t=400 and coordinates densely for 150 steps."""
+    rng = random.Random(seed)
+    cell = list(range(100, 106))
+    for t in range(total_steps):
+        if 400 <= t < 550 and t % 2 == 0:
+            u, v = rng.sample(cell, 2)
+        else:
+            u, v = rng.sample(range(60), 2)
+        yield u, v, t
+
+
+def main() -> None:
+    monitor = SlidingWindowDensity(window=120)
+    alert_threshold = 3  # report when an approximate 5-clique forms
+    alerted_at = None
+    cleared_at = None
+
+    for u, v, t in interaction_stream(800):
+        monitor.observe(u, v, t)
+        if alerted_at is None and monitor.alert_when(alert_threshold):
+            alerted_at = t
+            level, members = monitor.densest_community()
+            print(f"t={t}: ALERT kappa={level} "
+                  f"(~{level + 2}-clique) among {sorted(members)}")
+        if alerted_at is not None and cleared_at is None:
+            if not monitor.alert_when(alert_threshold):
+                cleared_at = t
+                print(f"t={t}: structure dissolved "
+                      f"(window max kappa {monitor.max_kappa})")
+
+    print(f"\nstream done: alert at t={alerted_at}, cleared at t={cleared_at}")
+    print(f"final window: {monitor.num_edges} live edges, "
+          f"max kappa {monitor.max_kappa}")
+    assert alerted_at is not None and 400 <= alerted_at < 550
+    assert cleared_at is not None and cleared_at >= 550
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Analysis: plateau detection, clique reports, event detection, stats."""
+
+from .cliques import (
+    CliqueReport,
+    approximation_quality,
+    clique_report,
+    largest_clique_in,
+)
+from .events import Event, densest_event, detect_events
+from .peaks import Plateau, find_plateaus, plateau_profile, top_plateaus
+from .robustness import (
+    PerturbationTrial,
+    RobustnessReport,
+    perturb_edges,
+    robustness_report,
+)
+from .stats import GraphStats, degree_histogram, graph_stats, kappa_summary
+from .streaming import SlidingWindowDensity
+from .timeline import (
+    CommunityTimeline,
+    TrackedCommunity,
+    Transition,
+    snapshot_communities,
+    track_communities,
+)
+
+__all__ = [
+    "CliqueReport",
+    "CommunityTimeline",
+    "Event",
+    "GraphStats",
+    "Plateau",
+    "PerturbationTrial",
+    "RobustnessReport",
+    "SlidingWindowDensity",
+    "TrackedCommunity",
+    "Transition",
+    "approximation_quality",
+    "clique_report",
+    "degree_histogram",
+    "densest_event",
+    "detect_events",
+    "find_plateaus",
+    "graph_stats",
+    "kappa_summary",
+    "largest_clique_in",
+    "perturb_edges",
+    "plateau_profile",
+    "robustness_report",
+    "snapshot_communities",
+    "track_communities",
+    "top_plateaus",
+]

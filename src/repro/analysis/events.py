@@ -1,0 +1,78 @@
+"""Event detection on evolving graphs via template patterns.
+
+The paper positions template pattern cliques as a probe for "interesting or
+anomalous behavior" in evolving networks (§V, citing [22]).  This module
+turns the three built-in templates into a small event-detection API: run
+all templates over every consecutive snapshot pair of a stream and emit the
+pattern cliques found, densest first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..graph.edge import Vertex
+from ..graph.snapshots import SnapshotStream
+from ..templates.detect import detect_on_snapshots
+from ..templates.library import BUILTIN_TEMPLATES
+from ..templates.spec import TemplateSpec
+
+
+@dataclass(frozen=True)
+class Event:
+    """A detected pattern clique between two consecutive snapshots."""
+
+    step: int  # index of the *new* snapshot in the stream
+    pattern: str
+    kappa: int
+    vertices: Tuple[Vertex, ...]
+
+    @property
+    def clique_size_estimate(self) -> int:
+        return self.kappa + 2
+
+
+def detect_events(
+    stream: SnapshotStream,
+    *,
+    patterns: Sequence[TemplateSpec] | None = None,
+    min_kappa: int = 1,
+    max_events_per_step: int = 10,
+) -> List[Event]:
+    """Scan all consecutive snapshot pairs for template pattern cliques.
+
+    Returns events sorted by (step, descending kappa).  ``patterns``
+    defaults to the three built-ins (New Form, Bridge, New Join).
+    """
+    specs = list(patterns) if patterns is not None else list(
+        BUILTIN_TEMPLATES.values()
+    )
+    events: List[Event] = []
+    for step in range(1, len(stream)):
+        old_graph, new_graph = stream[step - 1], stream[step]
+        for spec in specs:
+            detection = detect_on_snapshots(old_graph, new_graph, spec)
+            for count, (kappa, vertices) in enumerate(
+                detection.densest_cliques(min_kappa=min_kappa)
+            ):
+                if count >= max_events_per_step:
+                    break
+                events.append(
+                    Event(
+                        step=step,
+                        pattern=spec.name,
+                        kappa=kappa,
+                        vertices=tuple(sorted(vertices, key=repr)),
+                    )
+                )
+    events.sort(key=lambda e: (e.step, -e.kappa, e.pattern))
+    return events
+
+
+def densest_event(events: Sequence[Event], pattern: str) -> Event:
+    """The single densest event of ``pattern`` (ValueError when none)."""
+    matching = [e for e in events if e.pattern == pattern]
+    if not matching:
+        raise ValueError(f"no events of pattern {pattern!r}")
+    return max(matching, key=lambda e: e.kappa)

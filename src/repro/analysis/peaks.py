@@ -1,0 +1,97 @@
+"""Plateau / peak detection on density plots.
+
+The paper reads its plots by eye: "the flat peaks in the plot indicate
+potential cliques" and the case studies circle the densest ones.  This
+module automates that reading so case studies and benchmarks can assert the
+structure programmatically: a *plateau* is a maximal run of consecutive
+plot positions whose heights stay within a tolerance of a local maximum and
+above a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..graph.edge import Vertex
+from ..viz.density_plot import DensityPlot
+
+
+@dataclass(frozen=True)
+class Plateau:
+    """One detected plateau (a candidate clique-like structure)."""
+
+    start: int
+    end: int  # inclusive
+    height: int
+    vertices: Tuple[Vertex, ...]
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+
+def find_plateaus(
+    plot: DensityPlot,
+    *,
+    min_height: int = 3,
+    min_width: int = 3,
+    tolerance: int = 1,
+) -> List[Plateau]:
+    """Detect plateaus, tallest first.
+
+    Parameters
+    ----------
+    min_height:
+        Ignore structure below this co-clique size (2 is just "an edge").
+    min_width:
+        Minimum run length; a clique of size ``s`` occupies about ``s``
+        consecutive positions.
+    tolerance:
+        Heights within ``tolerance`` of the run's maximum stay in the run —
+        absorbs the one-off dips quasi-cliques produce (the paper's Fig 7
+        clique 3 sits one unit below its neighbors).
+    """
+    heights = plot.heights
+    plateaus: List[Plateau] = []
+    index = 0
+    n = len(heights)
+    while index < n:
+        if heights[index] < min_height:
+            index += 1
+            continue
+        run_start = index
+        run_max = heights[index]
+        index += 1
+        while index < n and heights[index] >= min_height and (
+            abs(heights[index] - run_max) <= tolerance
+            or heights[index] > run_max
+        ):
+            run_max = max(run_max, heights[index])
+            index += 1
+        run_end = index - 1
+        if run_end - run_start + 1 >= min_width:
+            plateaus.append(
+                Plateau(
+                    start=run_start,
+                    end=run_end,
+                    height=run_max,
+                    vertices=tuple(plot.order[run_start : run_end + 1]),
+                )
+            )
+    plateaus.sort(key=lambda p: (-p.height, -p.width, p.start))
+    return plateaus
+
+
+def top_plateaus(plot: DensityPlot, count: int, **kwargs) -> List[Plateau]:
+    """The ``count`` tallest plateaus (the paper's circled regions)."""
+    return find_plateaus(plot, **kwargs)[:count]
+
+
+def plateau_profile(plot: DensityPlot, **kwargs) -> List[Tuple[int, int]]:
+    """``(height, width)`` pairs of all plateaus — a compact plot signature.
+
+    Used by the Fig 6 benchmark to compare the CSV plot and the Triangle
+    K-Core plot structurally instead of pixel-by-pixel.
+    """
+    return [(p.height, p.width) for p in find_plateaus(plot, **kwargs)]

@@ -1,0 +1,177 @@
+"""Robustness of dense structure under noise.
+
+Real relationship data is noisy — the paper's own PPI case study hinges on
+one missing edge demoting a 10-clique to a 9-plateau.  This module
+quantifies that sensitivity: perturb the graph by deleting (or rewiring) a
+random fraction of edges and measure how the kappa values and the densest
+communities move.
+
+Outputs are designed for decision-making: "at 5% edge loss the Lsm module
+still surfaces, at 20% it dissolves" is the statement a biologist needs
+before trusting a plateau.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..graph.edge import Vertex
+from ..graph.undirected import Graph
+from ..core.maxcore import max_triangle_kcore
+from ..core.triangle_kcore import triangle_kcore_decomposition
+
+
+@dataclass(frozen=True)
+class PerturbationTrial:
+    """One perturbed run.
+
+    ``core_overlap`` compares the perturbed graph's *champion* core against
+    the baseline champion — it can swing wildly when noise merely reorders
+    two near-equal cores.  ``core_kappa_after`` is the stabler signal: the
+    density the baseline core itself retains in the perturbed graph.
+    """
+
+    fraction: float
+    seed: int
+    max_kappa: int
+    kappa_mean_drop: float
+    core_overlap: float  # Jaccard of densest-core vertices vs baseline
+    core_kappa_after: int  # max kappa among the baseline core's edges
+
+
+@dataclass
+class RobustnessReport:
+    """Aggregated perturbation trials for one graph."""
+
+    baseline_max_kappa: int
+    baseline_core: frozenset
+    trials: List[PerturbationTrial]
+
+    def by_fraction(self) -> Dict[float, List[PerturbationTrial]]:
+        grouped: Dict[float, List[PerturbationTrial]] = {}
+        for trial in self.trials:
+            grouped.setdefault(trial.fraction, []).append(trial)
+        return dict(sorted(grouped.items()))
+
+    def mean_core_overlap(self, fraction: float) -> float:
+        trials = [t for t in self.trials if t.fraction == fraction]
+        if not trials:
+            raise ValueError(f"no trials at fraction {fraction}")
+        return sum(t.core_overlap for t in trials) / len(trials)
+
+    def mean_core_kappa_after(self, fraction: float) -> float:
+        trials = [t for t in self.trials if t.fraction == fraction]
+        if not trials:
+            raise ValueError(f"no trials at fraction {fraction}")
+        return sum(t.core_kappa_after for t in trials) / len(trials)
+
+    def breakdown_fraction(self, *, retention_threshold: float = 0.5) -> float:
+        """Smallest tested fraction where the baseline core retains less
+        than ``retention_threshold`` of its original density;
+        ``1.0`` if it survives every tested level."""
+        if self.baseline_max_kappa == 0:
+            return 1.0
+        for fraction, trials in self.by_fraction().items():
+            mean = sum(t.core_kappa_after for t in trials) / len(trials)
+            if mean < retention_threshold * self.baseline_max_kappa:
+                return fraction
+        return 1.0
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    union = len(a | b)
+    return len(a & b) / union if union else 1.0
+
+
+def perturb_edges(
+    graph: Graph, fraction: float, *, seed: int = 0, mode: str = "delete"
+) -> Graph:
+    """Return a perturbed copy of ``graph``.
+
+    ``mode="delete"`` removes a uniform ``fraction`` of edges;
+    ``mode="rewire"`` removes them and inserts the same number of uniform
+    random non-edges (degree-sequence-agnostic noise).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if mode not in ("delete", "rewire"):
+        raise ValueError(f"mode must be 'delete' or 'rewire', got {mode!r}")
+    rng = random.Random(seed)
+    perturbed = graph.copy()
+    edges = sorted(perturbed.edges(), key=repr)
+    rng.shuffle(edges)
+    victims = edges[: int(round(fraction * len(edges)))]
+    for u, v in victims:
+        perturbed.remove_edge(u, v)
+    if mode == "rewire":
+        vertices = sorted(perturbed.vertices(), key=repr)
+        inserted = 0
+        attempts = 0
+        while inserted < len(victims) and attempts < len(victims) * 50:
+            attempts += 1
+            u, v = rng.sample(vertices, 2)
+            if not perturbed.has_edge(u, v):
+                perturbed.add_edge(u, v)
+                inserted += 1
+    return perturbed
+
+
+def robustness_report(
+    graph: Graph,
+    *,
+    fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2),
+    trials_per_fraction: int = 3,
+    mode: str = "delete",
+    seed: int = 0,
+) -> RobustnessReport:
+    """Measure kappa/community stability under random edge perturbation."""
+    baseline = triangle_kcore_decomposition(graph)
+    baseline_k, baseline_core_graph = max_triangle_kcore(graph)
+    baseline_core = frozenset(baseline_core_graph.vertices())
+    baseline_mean = (
+        sum(baseline.kappa.values()) / len(baseline.kappa)
+        if baseline.kappa
+        else 0.0
+    )
+
+    trials: List[PerturbationTrial] = []
+    for fraction in fractions:
+        for trial_index in range(trials_per_fraction):
+            trial_seed = seed + 1000 * trial_index + hash(fraction) % 997
+            perturbed = perturb_edges(
+                graph, fraction, seed=trial_seed, mode=mode
+            )
+            result = triangle_kcore_decomposition(perturbed)
+            k, core_graph = max_triangle_kcore(perturbed)
+            mean = (
+                sum(result.kappa.values()) / len(result.kappa)
+                if result.kappa
+                else 0.0
+            )
+            core_kappa_after = max(
+                (
+                    value
+                    for (u, v), value in result.kappa.items()
+                    if u in baseline_core and v in baseline_core
+                ),
+                default=0,
+            )
+            trials.append(
+                PerturbationTrial(
+                    fraction=fraction,
+                    seed=trial_seed,
+                    max_kappa=k,
+                    kappa_mean_drop=baseline_mean - mean,
+                    core_overlap=_jaccard(
+                        baseline_core, frozenset(core_graph.vertices())
+                    ),
+                    core_kappa_after=core_kappa_after,
+                )
+            )
+    return RobustnessReport(
+        baseline_max_kappa=baseline_k,
+        baseline_core=baseline_core,
+        trials=trials,
+    )

@@ -1,0 +1,72 @@
+"""Summary statistics for graphs and decompositions.
+
+Backs the Table I benchmark (dataset characterization) and EXPERIMENTS.md
+(shape commentary): degree distribution moments, triangle counts,
+clustering, kappa histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graph.triangles import count_triangles, global_clustering_coefficient
+from ..graph.undirected import Graph
+from ..core.kcore import degeneracy
+from ..core.triangle_kcore import TriangleKCoreResult
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One row of the dataset characterization table."""
+
+    vertices: int
+    edges: int
+    triangles: int
+    max_degree: int
+    mean_degree: float
+    transitivity: float
+    degeneracy: int
+
+    def as_row(self) -> str:
+        return (
+            f"|V|={self.vertices} |E|={self.edges} |Tri|={self.triangles} "
+            f"dmax={self.max_degree} dmean={self.mean_degree:.2f} "
+            f"C={self.transitivity:.3f} degeneracy={self.degeneracy}"
+        )
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute the characterization row for ``graph``."""
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    return GraphStats(
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        triangles=count_triangles(graph),
+        max_degree=max(degrees, default=0),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        transitivity=global_clustering_coefficient(graph),
+        degeneracy=degeneracy(graph),
+    )
+
+
+def kappa_summary(result: TriangleKCoreResult) -> Dict[str, float]:
+    """Aggregate kappa statistics for EXPERIMENTS.md reporting."""
+    values = list(result.kappa.values())
+    if not values:
+        return {"edges": 0, "max": 0, "mean": 0.0, "nonzero_fraction": 0.0}
+    return {
+        "edges": len(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "nonzero_fraction": sum(1 for v in values if v > 0) / len(values),
+    }
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """``{degree: vertex count}`` — used to sanity-check generator shape."""
+    histogram: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,224 @@
+"""Community evolution tracking across snapshot streams.
+
+The paper motivates Triangle K-Cores with dynamic analysis: "identifying
+the portions of the network that are changing, characterizing the type of
+change" (§I), and cites the event framework of Asur et al. [15].  This
+module implements that layer on top of the decomposition: extract the
+dense (triangle-connected) communities of every snapshot, match them
+across consecutive snapshots by overlap, and classify the transitions:
+
+* ``continue`` — same community, roughly the same members;
+* ``grow`` / ``shrink`` — matched, with a significant size change;
+* ``merge`` — several previous communities map into one;
+* ``split`` — one previous community maps onto several;
+* ``form`` — no predecessor (a new dense group);
+* ``dissolve`` — no successor.
+
+The Fig 8 case study events reappear here automatically: the Astrology
+story is a ``grow``, the two topic fusions are ``merge`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graph.snapshots import SnapshotStream
+from ..graph.undirected import Graph
+from ..core.extract import dense_communities
+from ..core.triangle_kcore import triangle_kcore_decomposition
+
+
+@dataclass(frozen=True)
+class TrackedCommunity:
+    """One dense community of one snapshot."""
+
+    snapshot: int
+    level: int
+    vertices: frozenset
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """An evolution event between consecutive snapshots."""
+
+    kind: str  # continue/grow/shrink/merge/split/form/dissolve
+    snapshot: int  # index of the *later* snapshot
+    before: Tuple[TrackedCommunity, ...]
+    after: Tuple[TrackedCommunity, ...]
+
+    def __repr__(self) -> str:
+        before_sizes = [c.size for c in self.before]
+        after_sizes = [c.size for c in self.after]
+        return (
+            f"Transition({self.kind!r}, t={self.snapshot}, "
+            f"{before_sizes} -> {after_sizes})"
+        )
+
+
+def snapshot_communities(
+    graph: Graph, snapshot: int, *, min_kappa: int = 2, max_communities: int = 50
+) -> List[TrackedCommunity]:
+    """Dense communities of one snapshot, densest first."""
+    result = triangle_kcore_decomposition(graph)
+    communities: List[TrackedCommunity] = []
+    for count, (level, vertices) in enumerate(
+        dense_communities(graph, result, min_kappa=min_kappa)
+    ):
+        if count >= max_communities:
+            break
+        communities.append(
+            TrackedCommunity(
+                snapshot=snapshot, level=level, vertices=frozenset(vertices)
+            )
+        )
+    return communities
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+@dataclass
+class CommunityTimeline:
+    """Communities per snapshot plus the classified transitions."""
+
+    communities: List[List[TrackedCommunity]] = field(default_factory=list)
+    transitions: List[Transition] = field(default_factory=list)
+
+    def events(self, kind: Optional[str] = None) -> List[Transition]:
+        """Transitions, optionally filtered by kind."""
+        if kind is None:
+            return list(self.transitions)
+        return [t for t in self.transitions if t.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        """``{event kind: count}`` over the whole stream."""
+        counts: Dict[str, int] = {}
+        for transition in self.transitions:
+            counts[transition.kind] = counts.get(transition.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def track_communities(
+    stream: SnapshotStream,
+    *,
+    min_kappa: int = 2,
+    match_threshold: float = 0.3,
+    grow_factor: float = 1.25,
+    max_communities: int = 50,
+) -> CommunityTimeline:
+    """Build the evolution timeline of a snapshot stream.
+
+    Parameters
+    ----------
+    min_kappa:
+        Minimum community density to track.
+    match_threshold:
+        Minimum Jaccard overlap for a predecessor/successor link.
+    grow_factor:
+        Size ratio beyond which a matched community counts as
+        ``grow`` / ``shrink`` instead of ``continue``.
+    max_communities:
+        Cap per snapshot (densest first) to bound matching cost.
+    """
+    timeline = CommunityTimeline()
+    for index in range(len(stream)):
+        timeline.communities.append(
+            snapshot_communities(
+                stream[index],
+                index,
+                min_kappa=min_kappa,
+                max_communities=max_communities,
+            )
+        )
+
+    for index in range(1, len(stream)):
+        previous = timeline.communities[index - 1]
+        current = timeline.communities[index]
+        links: List[Tuple[int, int]] = []  # (prev idx, cur idx)
+        for i, old in enumerate(previous):
+            for j, new in enumerate(current):
+                if _jaccard(old.vertices, new.vertices) >= match_threshold:
+                    links.append((i, j))
+
+        prev_to_cur: Dict[int, List[int]] = {}
+        cur_to_prev: Dict[int, List[int]] = {}
+        for i, j in links:
+            prev_to_cur.setdefault(i, []).append(j)
+            cur_to_prev.setdefault(j, []).append(i)
+
+        consumed_prev: Set[int] = set()
+        consumed_cur: Set[int] = set()
+
+        # Merges: one current community with several predecessors.
+        for j, sources in sorted(cur_to_prev.items()):
+            if len(sources) > 1:
+                timeline.transitions.append(
+                    Transition(
+                        kind="merge",
+                        snapshot=index,
+                        before=tuple(previous[i] for i in sorted(sources)),
+                        after=(current[j],),
+                    )
+                )
+                consumed_cur.add(j)
+                consumed_prev.update(sources)
+
+        # Splits: one predecessor with several current successors.
+        for i, targets in sorted(prev_to_cur.items()):
+            if i in consumed_prev:
+                continue
+            live_targets = [j for j in targets if j not in consumed_cur]
+            if len(live_targets) > 1:
+                timeline.transitions.append(
+                    Transition(
+                        kind="split",
+                        snapshot=index,
+                        before=(previous[i],),
+                        after=tuple(current[j] for j in sorted(live_targets)),
+                    )
+                )
+                consumed_prev.add(i)
+                consumed_cur.update(live_targets)
+
+        # One-to-one: continue / grow / shrink.
+        for i, targets in sorted(prev_to_cur.items()):
+            if i in consumed_prev:
+                continue
+            live_targets = [j for j in targets if j not in consumed_cur]
+            if len(live_targets) != 1:
+                continue
+            j = live_targets[0]
+            old, new = previous[i], current[j]
+            if new.size >= old.size * grow_factor:
+                kind = "grow"
+            elif old.size >= new.size * grow_factor:
+                kind = "shrink"
+            else:
+                kind = "continue"
+            timeline.transitions.append(
+                Transition(kind=kind, snapshot=index, before=(old,), after=(new,))
+            )
+            consumed_prev.add(i)
+            consumed_cur.add(j)
+
+        # Unmatched: dissolutions and formations.
+        for i, old in enumerate(previous):
+            if i not in consumed_prev and i not in prev_to_cur:
+                timeline.transitions.append(
+                    Transition(
+                        kind="dissolve", snapshot=index, before=(old,), after=()
+                    )
+                )
+        for j, new in enumerate(current):
+            if j not in consumed_cur and j not in cur_to_prev:
+                timeline.transitions.append(
+                    Transition(kind="form", snapshot=index, before=(), after=(new,))
+                )
+    return timeline

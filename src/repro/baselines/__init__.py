@@ -1,0 +1,22 @@
+"""Baselines the paper compares against: CSV, DN-Graph, naive recompute."""
+
+from .csv_baseline import CSVBaseline, csv_co_clique_sizes, greedy_clique, max_clique
+from .dngraph import DNGraphResult, bitridn, is_valid_lambda, tridn
+from .nx_truss import networkx_kappa, networkx_truss_numbers
+from .recompute import RecomputeBaseline, RecomputeRun, timed_recompute
+
+__all__ = [
+    "CSVBaseline",
+    "DNGraphResult",
+    "RecomputeBaseline",
+    "RecomputeRun",
+    "bitridn",
+    "csv_co_clique_sizes",
+    "greedy_clique",
+    "is_valid_lambda",
+    "max_clique",
+    "networkx_kappa",
+    "networkx_truss_numbers",
+    "timed_recompute",
+    "tridn",
+]

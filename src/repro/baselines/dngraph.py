@@ -1,0 +1,163 @@
+"""DN-Graph baselines: the iterative TriDN / BiTriDN estimators.
+
+Wang et al. (VLDB'10) estimate, for every edge, the maximum :math:`\\lambda`
+of a DN-Graph the edge participates in.  Because computing
+:math:`\\lambda(e)` exactly is hard, they iterate a *validity* repair
+(paper's Definition 5) until a fixed point:
+
+    inside triangle :math:`\\triangle(u, v, w)`, vertex ``w`` *supports*
+    :math:`\\lambda(u, v)` when
+    :math:`\\lambda(u, v) \\le \\min(\\lambda(u, w), \\lambda(v, w))`;
+    :math:`\\lambda(u, v)` is *valid* iff at least :math:`\\lambda(u, v)`
+    vertices support it.
+
+Starting from the triangle support (an upper bound), each sweep lowers every
+invalid :math:`\\lambda(e)` to the largest valid value given its neighbors —
+a capped h-index computation.  The fixed point is exactly the Triangle
+K-Core number :math:`\\kappa(e)` (the ICDE'12 paper's Claim 3), which both
+justifies the comparison plots and gives the test suite a strong oracle:
+``tridn(g).lambda_ == triangle_kcore_decomposition(g).kappa``.
+
+Two variants are provided, mirroring the paper's Table II:
+
+* :func:`tridn` — Jacobi-style sweeps (all updates from the previous
+  round's values); slow but simple, converges in many iterations.
+* :func:`bitridn` — Gauss–Seidel-style sweeps with in-place updates and a
+  dirty-edge worklist; converges in far fewer sweeps, but each sweep remains
+  triangle-heavy, which is why it still loses to the one-shot peeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..graph.edge import Edge, canonical_edge
+from ..graph.undirected import Graph
+from ..graph.triangles import triangle_supports
+
+
+@dataclass
+class DNGraphResult:
+    """Converged DN-Graph estimation.
+
+    Attributes
+    ----------
+    lambda_:
+        Final valid :math:`\\lambda(e)` per edge (== kappa, per Claim 3).
+    iterations:
+        Number of full sweeps (TriDN) or worklist rounds (BiTriDN) until the
+        fixed point; the quantity the paper quotes ("66 iterations for
+        Flickr").
+    updates:
+        Total number of per-edge lowering steps performed.
+    """
+
+    lambda_: Dict[Edge, int]
+    iterations: int = 0
+    updates: int = 0
+
+
+def _capped_valid_lambda(
+    graph: Graph, lambda_: Dict[Edge, int], u: object, v: object, cap: int
+) -> int:
+    """Largest L <= cap with at least L supporting common neighbors.
+
+    A common neighbor ``w`` supports level L when both side edges carry
+    lambda >= L, so the answer is the h-index of the side minima, capped.
+    """
+    side_minima: List[int] = []
+    for w in graph.common_neighbors(u, v):
+        side = min(
+            lambda_[canonical_edge(u, w)],
+            lambda_[canonical_edge(v, w)],
+        )
+        side_minima.append(min(side, cap))
+    side_minima.sort(reverse=True)
+    best = 0
+    for index, value in enumerate(side_minima, start=1):
+        if value >= index:
+            best = index
+        else:
+            break
+    return min(best, cap)
+
+
+def tridn(graph: Graph, *, max_iterations: int = 10_000) -> DNGraphResult:
+    """TriDN: synchronous validity-repair sweeps until a fixed point.
+
+    Every sweep recomputes each edge's largest valid lambda from the
+    *previous* sweep's values (Jacobi iteration).  Deterministic and
+    monotone non-increasing, so convergence to the greatest fixed point —
+    the Triangle K-Core decomposition — is guaranteed.
+    """
+    lambda_ = dict(triangle_supports(graph))
+    iterations = 0
+    updates = 0
+    while iterations < max_iterations:
+        iterations += 1
+        previous = dict(lambda_)
+        changed = False
+        for u, v in graph.edges():
+            edge = (u, v)
+            current = previous[edge]
+            repaired = _capped_valid_lambda(graph, previous, u, v, current)
+            if repaired < current:
+                lambda_[edge] = repaired
+                updates += 1
+                changed = True
+        if not changed:
+            break
+    return DNGraphResult(lambda_=lambda_, iterations=iterations, updates=updates)
+
+
+def bitridn(graph: Graph, *, max_rounds: int = 10_000) -> DNGraphResult:
+    """BiTriDN: asynchronous repair with immediate propagation.
+
+    Processes a worklist of potentially-invalid edges, updating lambda in
+    place so later repairs in the same round see fresh values, and re-queues
+    only the triangle neighbors of every lowered edge.  Converges to the
+    same fixed point as :func:`tridn` with substantially fewer edge visits —
+    the "improvement over TriDN" the paper benchmarks — while remaining an
+    iterative estimator.
+    """
+    lambda_ = dict(triangle_supports(graph))
+    dirty = set(lambda_)
+    iterations = 0
+    updates = 0
+    while dirty and iterations < max_rounds:
+        iterations += 1
+        work = sorted(dirty, key=repr)
+        dirty = set()
+        for edge in work:
+            u, v = edge
+            current = lambda_[edge]
+            repaired = _capped_valid_lambda(graph, lambda_, u, v, current)
+            if repaired < current:
+                lambda_[edge] = repaired
+                updates += 1
+                for w in graph.common_neighbors(u, v):
+                    dirty.add(canonical_edge(u, w))
+                    dirty.add(canonical_edge(v, w))
+    return DNGraphResult(lambda_=lambda_, iterations=iterations, updates=updates)
+
+
+def is_valid_lambda(graph: Graph, lambda_: Dict[Edge, int]) -> bool:
+    """Check Definition 5 for every edge: supporters(e) >= lambda(e)."""
+    for u, v in graph.edges():
+        value = lambda_[(u, v)]
+        if value == 0:
+            continue
+        supporters = 0
+        for w in graph.common_neighbors(u, v):
+            if (
+                min(
+                    lambda_[canonical_edge(u, w)],
+                    lambda_[canonical_edge(v, w)],
+                )
+                >= value
+            ):
+                supporters += 1
+        if supporters < value:
+            return False
+    return True

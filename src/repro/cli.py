@@ -1,0 +1,432 @@
+"""Command-line interface: ``triangle-kcore`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+* ``decompose`` — run Algorithm 1 on an edge-list file or named dataset and
+  print the kappa histogram (optionally dump per-edge values).
+* ``plot`` — render the density plot of a graph to ASCII or SVG.
+* ``update`` — benchmark incremental maintenance vs recompute on a graph
+  with a random churn fraction (a one-dataset Table III row).
+* ``templates`` — detect New Form / Bridge / New Join cliques between two
+  snapshots.
+* ``datasets`` — list the built-in dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .graph.io import read_edge_list
+from .graph.undirected import Graph
+
+
+def _load_graph(spec: str) -> Graph:
+    """Interpret ``spec`` as a dataset name, else as an edge-list path."""
+    from .datasets import load, names
+
+    if spec in names():
+        return load(spec).graph
+    return read_edge_list(spec)
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .core import triangle_kcore_decomposition
+
+    graph = _load_graph(args.graph)
+    start = time.perf_counter()
+    result = triangle_kcore_decomposition(graph)
+    elapsed = time.perf_counter() - start
+    print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"decomposition: {elapsed:.3f}s, max kappa = {result.max_kappa}")
+    print("kappa histogram (kappa: edges):")
+    for value, count in result.histogram().items():
+        print(f"  {value:4d}: {count}")
+    if args.output:
+        if str(args.output).endswith(".json"):
+            from .core import save_result
+
+            save_result(result, args.output)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for (u, v), k in sorted(result.kappa.items(), key=repr):
+                    handle.write(f"{u} {v} {k}\n")
+        print(f"per-edge kappa written to {args.output}")
+    return 0
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    from .core import CommunityIndex
+
+    graph = _load_graph(args.graph)
+    index = CommunityIndex(graph)
+    if args.vertex is not None:
+        vertex: object = args.vertex
+        if not graph.has_vertex(vertex):
+            try:
+                vertex = int(args.vertex)
+            except ValueError:
+                pass
+        level, members = index.densest_community_of_vertex(vertex)
+        print(
+            f"densest community of {vertex!r}: level {level} "
+            f"(~{level + 2}-clique), {len(members)} vertices"
+        )
+        print("  " + ", ".join(sorted(map(str, members))[:20]))
+        return 0
+    level = args.level if args.level is not None else index.max_level
+    communities = index.communities_at(level)
+    print(f"level {level}: {len(communities)} triangle-connected communities")
+    for rank, edges in enumerate(communities[: args.top], start=1):
+        from .core import vertex_set_of_edges
+
+        vertices = sorted(map(str, vertex_set_of_edges(edges)))
+        print(f"  #{rank}: {len(vertices)} vertices: {', '.join(vertices[:12])}")
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from .core import triangle_kcore_decomposition
+    from .viz import (
+        density_plot,
+        density_plot_svg,
+        explorer_html,
+        render,
+        save_explorer,
+        save_svg,
+    )
+
+    graph = _load_graph(args.graph)
+    result = triangle_kcore_decomposition(graph)
+    plot = density_plot(graph, result, title=args.graph)
+    if args.interactive:
+        save_explorer(
+            explorer_html(plot, title=f"Explorer: {args.graph}"),
+            args.interactive,
+        )
+        print(f"interactive explorer written to {args.interactive}")
+    elif args.svg:
+        save_svg(density_plot_svg(plot), args.svg)
+        print(f"SVG written to {args.svg}")
+    else:
+        print(render(plot, height=args.height, width=args.width))
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .baselines.recompute import RecomputeBaseline
+    from .core.dynamic import DynamicTriangleKCore
+    from .graph.generators import random_edge_sample, random_non_edges
+
+    graph = _load_graph(args.graph)
+    removed = random_edge_sample(graph, args.fraction / 2, seed=args.seed)
+    added = random_non_edges(
+        graph, len(removed), seed=args.seed, triangle_closing=True
+    )
+    print(
+        f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}; "
+        f"churn: +{len(added)} / -{len(removed)} edges"
+    )
+
+    maintainer = DynamicTriangleKCore(graph)
+    start = time.perf_counter()
+    maintainer.apply(added=added, removed=removed)
+    update_seconds = time.perf_counter() - start
+
+    baseline = RecomputeBaseline(graph)
+    run = baseline.apply(added=added, removed=removed)
+
+    assert maintainer.kappa == baseline.kappa, "dynamic != recompute"
+    print(f"incremental update: {update_seconds:.4f}s")
+    print(f"recompute (peel):   {run.seconds:.4f}s")
+    if update_seconds > 0:
+        print(f"speedup: {run.seconds / update_seconds:.1f}x")
+    return 0
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    from .templates import BUILTIN_TEMPLATES, detect_on_snapshots
+
+    old_graph = _load_graph(args.old)
+    new_graph = _load_graph(args.new)
+    spec = BUILTIN_TEMPLATES[args.pattern]
+    detection = detect_on_snapshots(old_graph, new_graph, spec)
+    print(
+        f"{spec.name}: {len(detection.characteristic_triangles)} "
+        f"characteristic triangles, {len(detection.special_edges)} special "
+        f"edges"
+    )
+    for index, (kappa, vertices) in enumerate(detection.densest_cliques()):
+        if index >= args.top:
+            break
+        print(
+            f"  #{index + 1}: ~{kappa + 2}-vertex pattern clique: "
+            f"{sorted(vertices, key=repr)}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core import triangle_kcore_decomposition
+    from .viz import decomposition_report
+
+    graph = _load_graph(args.graph)
+    result = triangle_kcore_decomposition(graph)
+    report = decomposition_report(graph, result, title=f"Analysis of {args.graph}")
+    report.save(args.output)
+    print(f"HTML report written to {args.output}")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .analysis import track_communities
+    from .graph import SnapshotStream
+
+    if args.dataset:
+        from .datasets import load
+
+        dataset = load(args.dataset)
+        if not dataset.snapshots:
+            print(f"dataset {args.dataset!r} has no snapshots")
+            return 1
+        stream = SnapshotStream(dataset.snapshots)
+        labels = dataset.snapshot_labels or [
+            str(i) for i in range(len(stream))
+        ]
+    else:
+        snapshots = [_load_graph(path) for path in args.snapshots]
+        stream = SnapshotStream(snapshots)
+        labels = [str(i) for i in range(len(stream))]
+
+    timeline = track_communities(stream, min_kappa=args.min_kappa)
+    print(f"summary: {timeline.summary()}")
+    for transition in timeline.transitions:
+        if transition.kind == "continue" and not args.verbose:
+            continue
+        before = [c.size for c in transition.before]
+        after = [c.size for c in transition.after]
+        print(
+            f"  {labels[transition.snapshot]}: {transition.kind} "
+            f"{before} -> {after}"
+        )
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .core import CommunityHierarchy
+
+    graph = _load_graph(args.graph)
+    hierarchy = CommunityHierarchy(graph)
+    print(hierarchy.ascii_tree(max_children=args.max_children))
+    return 0
+
+
+def _cmd_maxcore(args: argparse.Namespace) -> int:
+    from .core import max_triangle_kcore
+
+    graph = _load_graph(args.graph)
+    start = time.perf_counter()
+    k, sub = max_triangle_kcore(graph)
+    elapsed = time.perf_counter() - start
+    print(
+        f"densest Triangle K-Core: kappa {k} (~{k + 2}-clique), "
+        f"{sub.num_vertices} vertices, {sub.num_edges} edges  "
+        f"({elapsed:.3f}s, top-down)"
+    )
+    for vertex in sorted(map(str, sub.vertices()))[:30]:
+        print(f"  {vertex}")
+    if sub.num_vertices > 30:
+        print(f"  ... {sub.num_vertices - 30} more")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from .core import kappa_bounds
+
+    graph = _load_graph(args.graph)
+
+    def resolve(token: str) -> object:
+        if graph.has_vertex(token):
+            return token
+        try:
+            number = int(token)
+        except ValueError:
+            return token
+        return number if graph.has_vertex(number) else token
+
+    u, v = resolve(args.u), resolve(args.v)
+    lower, upper = kappa_bounds(
+        graph, u, v, radius=args.radius, sweeps=args.radius
+    )
+    certainty = "exact" if lower == upper else "bounds"
+    print(
+        f"kappa({u!r}, {v!r}) in [{lower}, {upper}] ({certainty}; "
+        f"radius {args.radius} neighborhood only)"
+    )
+    print(
+        f"edge participates in a ~{lower + 2}"
+        + (f"-to-{upper + 2}" if lower != upper else "")
+        + "-vertex clique-like structure"
+    )
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .analysis import robustness_report
+
+    graph = _load_graph(args.graph)
+    fractions = tuple(args.fractions)
+    report = robustness_report(
+        graph,
+        fractions=fractions,
+        trials_per_fraction=args.trials,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    print(
+        f"baseline densest core: kappa {report.baseline_max_kappa}, "
+        f"{len(report.baseline_core)} vertices"
+    )
+    for fraction in fractions:
+        print(
+            f"  {fraction:>6.1%} edge loss: core kappa retained "
+            f"{report.mean_core_kappa_after(fraction):.1f}"
+            f"/{report.baseline_max_kappa}, champion overlap "
+            f"{report.mean_core_overlap(fraction):.2f}"
+        )
+    print(f"breakdown (<50% density retained) at ~{report.breakdown_fraction():.0%}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .datasets import load, names
+
+    for name in names():
+        dataset = load(name)
+        print(
+            f"{name:15s} |V|={dataset.num_vertices:7d} "
+            f"|E|={dataset.num_edges:8d}  (paper: {dataset.paper_vertices} / "
+            f"{dataset.paper_edges})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="triangle-kcore",
+        description="Triangle K-Core motifs: extraction, maintenance, plots",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="run Algorithm 1")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("-o", "--output", help="write per-edge kappa here")
+    p.set_defaults(func=_cmd_decompose)
+
+    p = sub.add_parser("plot", help="density plot (ASCII or SVG)")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("--svg", help="write SVG here instead of ASCII")
+    p.add_argument(
+        "--interactive", help="write a self-contained HTML explorer here"
+    )
+    p.add_argument("--height", type=int, default=12)
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=_cmd_plot)
+
+    p = sub.add_parser("update", help="incremental vs recompute timing")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument(
+        "--fraction", type=float, default=0.01, help="churn fraction (paper: 1%%)"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_update)
+
+    p = sub.add_parser("templates", help="template pattern cliques")
+    p.add_argument("old", help="old snapshot (dataset name or path)")
+    p.add_argument("new", help="new snapshot (dataset name or path)")
+    p.add_argument(
+        "--pattern",
+        choices=("new_form", "bridge", "new_join", "stable", "densifying"),
+        default="new_form",
+    )
+    p.add_argument("--top", type=int, default=3)
+    p.set_defaults(func=_cmd_templates)
+
+    p = sub.add_parser("communities", help="triangle-connected communities")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("--level", type=int, help="level k (default: max)")
+    p.add_argument("--vertex", help="query one vertex's densest community")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=_cmd_communities)
+
+    p = sub.add_parser("report", help="write a standalone HTML report")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("-o", "--output", default="report.html")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("events", help="community evolution over snapshots")
+    p.add_argument("snapshots", nargs="*", help="edge-list paths, in order")
+    p.add_argument("--dataset", help="use a built-in snapshot dataset instead")
+    p.add_argument("--min-kappa", type=int, default=2, dest="min_kappa")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_events)
+
+    p = sub.add_parser("hierarchy", help="nested community dendrogram")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("--max-children", type=int, default=8, dest="max_children")
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("maxcore", help="densest Triangle K-Core, top-down")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.set_defaults(func=_cmd_maxcore)
+
+    p = sub.add_parser("probe", help="certified kappa bounds for one edge")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("u")
+    p.add_argument("v")
+    p.add_argument("--radius", type=int, default=2)
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("robustness", help="noise sensitivity of the densest core")
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.02, 0.05, 0.1, 0.2]
+    )
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--mode", choices=("delete", "rewire"), default="delete")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser("datasets", help="list built-in datasets")
+    p.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point.
+
+    Library errors and bad paths exit with code 2 and a one-line message
+    instead of a traceback; programming errors still propagate.
+    """
+    from .exceptions import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: no such file: {error.filename}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

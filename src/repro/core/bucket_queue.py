@@ -1,0 +1,135 @@
+"""Bucket-sorted priority structure used by the peeling algorithms.
+
+Algorithm 1 (paper §IV-A) keeps every edge in a list sorted by the upper
+bound :math:`\\tilde\\kappa`, repeatedly removes a minimum, and *decrements*
+the bound of neighboring edges.  With integer priorities bounded by the
+maximum triangle support, an array of buckets supports:
+
+* build — O(n),
+* pop-min — amortized O(1) (a floor pointer only moves forward, because the
+  peeling never decrements a priority below the value being processed),
+* decrement — O(1) (paper step 16: "based on bucket sort the update could be
+  optimized with complexity O(1)").
+
+The same structure drives the classic K-Core decomposition of Batagelj and
+Zaveršnik that the paper builds on (§III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, Mapping, Set, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class BucketQueue(Generic[K]):
+    """Monotone integer-priority queue over hashable keys.
+
+    Priorities must be non-negative integers.  Arbitrary ``set_priority``
+    moves are supported (the floor pointer is lowered if needed), but the
+    typical peeling usage only ever decrements priorities that are strictly
+    above the current floor, which keeps every operation O(1).
+
+    Examples
+    --------
+    >>> q = BucketQueue({"a": 2, "b": 0, "c": 1})
+    >>> q.pop_min()
+    ('b', 0)
+    >>> q.decrement("a")
+    1
+    >>> sorted([q.pop_min(), q.pop_min()])
+    [('a', 1), ('c', 1)]
+    """
+
+    def __init__(self, priorities: Mapping[K, int]) -> None:
+        self._priority: Dict[K, int] = {}
+        self._buckets: List[Set[K]] = []
+        self._floor = 0
+        self._size = 0
+        for key, priority in priorities.items():
+            self.insert(key, priority)
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._priority
+
+    def priority(self, key: K) -> int:
+        """Current priority of ``key`` (KeyError if absent)."""
+        return self._priority[key]
+
+    def _bucket(self, priority: int) -> Set[K]:
+        while len(self._buckets) <= priority:
+            self._buckets.append(set())
+        return self._buckets[priority]
+
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: K, priority: int) -> None:
+        """Insert a new key (KeyError-free; re-inserting raises ValueError)."""
+        if priority < 0:
+            raise ValueError(f"priority must be non-negative, got {priority}")
+        if key in self._priority:
+            raise ValueError(f"key {key!r} already present")
+        self._priority[key] = priority
+        self._bucket(priority).add(key)
+        self._size += 1
+        if priority < self._floor:
+            self._floor = priority
+
+    def remove(self, key: K) -> int:
+        """Remove ``key``; return the priority it had."""
+        priority = self._priority.pop(key)
+        self._buckets[priority].discard(key)
+        self._size -= 1
+        return priority
+
+    def set_priority(self, key: K, priority: int) -> None:
+        """Move ``key`` to a new priority."""
+        if priority < 0:
+            raise ValueError(f"priority must be non-negative, got {priority}")
+        old = self._priority[key]
+        if old == priority:
+            return
+        self._buckets[old].discard(key)
+        self._bucket(priority).add(key)
+        self._priority[key] = priority
+        if priority < self._floor:
+            self._floor = priority
+
+    def decrement(self, key: K) -> int:
+        """Decrease ``key``'s priority by one; return the new priority."""
+        new = self._priority[key] - 1
+        self.set_priority(key, new)
+        return new
+
+    def pop_min(self) -> tuple[K, int]:
+        """Remove and return ``(key, priority)`` with the smallest priority.
+
+        Raises IndexError when empty.
+        """
+        if self._size == 0:
+            raise IndexError("pop from empty BucketQueue")
+        while self._floor < len(self._buckets) and not self._buckets[self._floor]:
+            self._floor += 1
+        bucket = self._buckets[self._floor]
+        key = bucket.pop()
+        del self._priority[key]
+        self._size -= 1
+        return key, self._floor
+
+    def peek_min_priority(self) -> int:
+        """Smallest priority currently stored (IndexError when empty)."""
+        if self._size == 0:
+            raise IndexError("peek on empty BucketQueue")
+        floor = self._floor
+        while floor < len(self._buckets) and not self._buckets[floor]:
+            floor += 1
+        return floor
+
+    def keys(self) -> Iterable[K]:
+        """All keys currently in the queue (no order guarantee)."""
+        return self._priority.keys()

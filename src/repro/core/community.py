@@ -1,0 +1,252 @@
+"""Triangle-connected community search over the decomposition.
+
+The paper's visual workflow — spot a plateau, circle it, inspect the
+community — has a programmatic counterpart: *community search*.  Given a
+query vertex or edge, return the triangle-connected component of the
+level-``k`` subgraph containing it (today's "k-truss community").  Two
+access paths are provided:
+
+* :func:`community_of_edge` / :func:`community_of_vertex` — one-shot BFS
+  (no preprocessing; good for a handful of queries);
+* :class:`CommunityIndex` — one descending union-find sweep over the
+  decomposition that precomputes the communities of *every* level, making
+  each subsequent query a dictionary lookup.  Build cost
+  O(|E| + |Tri| + levels * |E| alpha); memory O(sum of kappa values).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import EdgeNotFoundError, VertexNotFoundError
+from ..graph.edge import Edge, Vertex, canonical_edge
+from ..graph.undirected import Graph
+from .extract import triangle_connected_component, vertex_set_of_edges
+from .triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
+
+
+class _EdgeUnionFind:
+    """Union-find over edges with path compression + union by size."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Edge, Edge] = {}
+        self._size: Dict[Edge, int] = {}
+
+    def add(self, edge: Edge) -> None:
+        if edge not in self._parent:
+            self._parent[edge] = edge
+            self._size[edge] = 1
+
+    def find(self, edge: Edge) -> Edge:
+        root = edge
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[edge] != root:
+            self._parent[edge], edge = root, self._parent[edge]
+        return root
+
+    def union(self, a: Edge, b: Edge) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+
+class CommunityIndex:
+    """Precomputed triangle-connected communities at every level.
+
+    Examples
+    --------
+    >>> from ..graph.undirected import complete_graph
+    >>> g = complete_graph(4)
+    >>> index = CommunityIndex(g)
+    >>> sorted(index.community_of_edge(0, 1))      # the K4 at level 2
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    """
+
+    def __init__(
+        self, graph: Graph, result: Optional[TriangleKCoreResult] = None
+    ) -> None:
+        self._graph = graph
+        self._result = result or triangle_kcore_decomposition(graph)
+        #: level -> {edge: component root}; only levels 1..max_kappa.
+        self._labels: Dict[int, Dict[Edge, Edge]] = {}
+        self._build()
+
+    @property
+    def result(self) -> TriangleKCoreResult:
+        return self._result
+
+    @property
+    def max_level(self) -> int:
+        return self._result.max_kappa
+
+    def _build(self) -> None:
+        kappa = self._result.kappa
+        by_level: Dict[int, List[Edge]] = {}
+        for edge, k in kappa.items():
+            by_level.setdefault(k, []).append(edge)
+        union_find = _EdgeUnionFind()
+        active: Set[Edge] = set()
+        for k in range(self.max_level, 0, -1):
+            for edge in by_level.get(k, ()):
+                union_find.add(edge)
+                active.add(edge)
+            # Union through every triangle whose minimum level is exactly k:
+            # scanning the newly activated edges' apexes covers them all.
+            for edge in by_level.get(k, ()):
+                a, b = edge
+                for w in self._graph.common_neighbors(a, b):
+                    e1 = canonical_edge(a, w)
+                    e2 = canonical_edge(b, w)
+                    if kappa[e1] >= k and kappa[e2] >= k:
+                        union_find.union(edge, e1)
+                        union_find.union(edge, e2)
+            self._labels[k] = {edge: union_find.find(edge) for edge in active}
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def community_of_edge(
+        self, u: Vertex, v: Vertex, k: Optional[int] = None
+    ) -> Set[Edge]:
+        """Edges of the level-``k`` community containing edge ``{u, v}``.
+
+        ``k`` defaults to the edge's own kappa (its densest community).
+        Returns an empty set when the edge's kappa is below ``k`` or the
+        requested level is 0 (every edge is trivially level-0).
+        """
+        edge = canonical_edge(u, v)
+        if edge not in self._result.kappa:
+            raise EdgeNotFoundError(u, v)
+        if k is None:
+            k = self._result.kappa[edge]
+        if k <= 0 or self._result.kappa[edge] < k:
+            return set()
+        labels = self._labels[k]
+        root = labels[edge]
+        return {e for e, r in labels.items() if r == root}
+
+    def communities_at(self, k: int) -> List[Set[Edge]]:
+        """All communities of level ``k``, largest first."""
+        if k <= 0 or k > self.max_level:
+            return []
+        grouped: Dict[Edge, Set[Edge]] = {}
+        for edge, root in self._labels[k].items():
+            grouped.setdefault(root, set()).add(edge)
+        return sorted(
+            grouped.values(),
+            key=lambda c: (-len(c), tuple(sorted(map(repr, c)))),
+        )
+
+    def community_of_vertex(
+        self, vertex: Vertex, k: Optional[int] = None
+    ) -> List[Set[Vertex]]:
+        """Vertex sets of the level-``k`` communities touching ``vertex``.
+
+        ``k`` defaults to the vertex's best incident kappa.  A vertex can
+        belong to several communities at one level (two cliques meeting at
+        a shared vertex), hence the list.
+        """
+        if not self._graph.has_vertex(vertex):
+            raise VertexNotFoundError(vertex)
+        incident = [
+            canonical_edge(vertex, w) for w in self._graph.neighbors(vertex)
+        ]
+        if k is None:
+            k = max(
+                (self._result.kappa[e] for e in incident),
+                default=0,
+            )
+        if k <= 0:
+            return []
+        roots: Set[Edge] = set()
+        labels = self._labels.get(k, {})
+        for edge in incident:
+            if edge in labels:
+                roots.add(labels[edge])
+        communities = []
+        for root in sorted(roots, key=repr):
+            edges = {e for e, r in labels.items() if r == root}
+            communities.append(vertex_set_of_edges(edges))
+        communities.sort(key=lambda c: (-len(c), tuple(sorted(map(repr, c)))))
+        return communities
+
+    def densest_community_of_vertex(
+        self, vertex: Vertex
+    ) -> Tuple[int, Set[Vertex]]:
+        """The community of ``vertex`` at its highest level, with that level.
+
+        Returns ``(0, {vertex})`` for vertices in no triangle.
+        """
+        communities = self.community_of_vertex(vertex)
+        if not communities:
+            return 0, {vertex}
+        incident = [
+            canonical_edge(vertex, w) for w in self._graph.neighbors(vertex)
+        ]
+        k = max(self._result.kappa[e] for e in incident)
+        return k, communities[0]
+
+    def __iter__(self) -> Iterator[Tuple[int, Set[Edge]]]:
+        """Iterate ``(level, edge set)`` pairs densest-level first."""
+        for k in range(self.max_level, 0, -1):
+            for community in self.communities_at(k):
+                yield k, community
+
+
+def community_of_edge(
+    graph: Graph,
+    u: Vertex,
+    v: Vertex,
+    *,
+    k: Optional[int] = None,
+    result: Optional[TriangleKCoreResult] = None,
+) -> Set[Edge]:
+    """One-shot community search for an edge (BFS, no index).
+
+    Equivalent to ``CommunityIndex(graph, result).community_of_edge(u, v, k)``
+    but only explores the queried component.
+    """
+    result = result or triangle_kcore_decomposition(graph)
+    edge = canonical_edge(u, v)
+    if edge not in result.kappa:
+        raise EdgeNotFoundError(u, v)
+    if k is None:
+        k = result.kappa[edge]
+    if k <= 0 or result.kappa[edge] < k:
+        return set()
+    return triangle_connected_component(graph, result, edge, k)
+
+
+def community_of_vertex(
+    graph: Graph,
+    vertex: Vertex,
+    *,
+    k: Optional[int] = None,
+    result: Optional[TriangleKCoreResult] = None,
+) -> List[Set[Vertex]]:
+    """One-shot community search for a vertex (BFS, no index)."""
+    result = result or triangle_kcore_decomposition(graph)
+    if not graph.has_vertex(vertex):
+        raise VertexNotFoundError(vertex)
+    incident = [canonical_edge(vertex, w) for w in graph.neighbors(vertex)]
+    if k is None:
+        k = max((result.kappa[e] for e in incident), default=0)
+    if k <= 0:
+        return []
+    seen_edges: Set[Edge] = set()
+    communities: List[Set[Vertex]] = []
+    for edge in sorted(incident, key=repr):
+        if result.kappa[edge] < k or edge in seen_edges:
+            continue
+        component = triangle_connected_component(graph, result, edge, k)
+        if component:
+            seen_edges |= component
+            communities.append(vertex_set_of_edges(component))
+    communities.sort(key=lambda c: (-len(c), tuple(sorted(map(repr, c)))))
+    return communities

@@ -1,0 +1,649 @@
+"""Incremental maintenance of Triangle K-Cores under edge updates.
+
+This module implements the semantics of the paper's Algorithm 2 (with the
+detailed Algorithms 5-7 of the appendix): after an edge insertion or
+deletion, repair every edge's :math:`\\kappa` *locally* instead of re-running
+Algorithm 1 from scratch.
+
+The implementation rests on the paper's locality results:
+
+* **Rule 0** — when a triangle with minimum edge level :math:`\\mu` appears
+  or disappears, only edges currently at level :math:`\\mu` can change, and
+  only by one.
+* **Lemma 2** — a level-:math:`\\mu` change propagates only to neighboring
+  edges that are themselves at level :math:`\\mu`.
+
+Concretely we process a whole edge update at once (all the triangles it
+creates or destroys), exploiting two consequences of Rule 0 that the k-truss
+maintenance literature later formalized:
+
+* every *existing* edge's level moves by at most one per inserted/deleted
+  edge;
+* the level-:math:`k` repair is independent of every other level, so each
+  affected level is repaired with its own candidate search + cascade.
+
+For an **insertion** of ``e0 = {u, v}``: the new edge starts at level 0 and
+climbs one level per pass.  At level ``k``, the candidate set is ``e0`` plus
+every unfrozen level-``k`` edge triangle-connected to it; the "obey
+Theorem 1" eligibility cascade peels candidates that cannot gather ``k + 1``
+supporting triangles, and survivors are promoted to ``k + 1``.  The coupling
+matters: a brand-new triangle whose three edges all sit at level ``k`` must
+promote all three together (they support each other), which is exactly what
+the candidate-coupled peel decides.  This mirrors the PotentialList /
+ChangingList simulation of Algorithm 5.
+
+For a **deletion** of ``e0``: the side edges of each destroyed triangle that
+counted it (their level is at most the levels of the other two edges) seed a
+demotion cascade at their own level, mirroring Algorithm 7.
+
+All updates keep the maintainer's kappa map equal to what
+:func:`~repro.core.triangle_kcore.triangle_kcore_decomposition` would return
+on the current graph — the equivalence is enforced by randomized property
+tests in ``tests/test_dynamic.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    StaleIndexError,
+)
+from ..graph.edge import Edge, Vertex, canonical_edge
+from ..graph.undirected import Graph
+from .triangle_kcore import (
+    TriangleKCoreResult,
+    kappa_from_mapping,
+    triangle_kcore_decomposition,
+)
+
+
+def h_index(values: Iterable[int]) -> int:
+    """Largest ``h`` such that at least ``h`` of the values are >= ``h``.
+
+    >>> h_index([3, 3, 2, 0])
+    2
+    >>> h_index([])
+    0
+    """
+    ordered = sorted(values, reverse=True)
+    h = 0
+    for i, value in enumerate(ordered, start=1):
+        if value >= i:
+            h = i
+        else:
+            break
+    return h
+
+
+class UpdateStats:
+    """Counters describing the work one update performed (for benchmarks)."""
+
+    __slots__ = ("candidates_examined", "edges_changed", "levels_touched")
+
+    def __init__(self) -> None:
+        self.candidates_examined = 0
+        self.edges_changed = 0
+        self.levels_touched = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateStats(candidates={self.candidates_examined}, "
+            f"changed={self.edges_changed}, levels={self.levels_touched})"
+        )
+
+
+class KappaDelta:
+    """What a batch update did to the kappa map, edge by edge.
+
+    The consumable form of an update for downstream pipelines: Dual View
+    Plots re-score exactly ``created`` + ``promoted`` + ``demoted``;
+    monitoring code watches ``max(promoted.values(), default=0)``.
+    """
+
+    __slots__ = ("created", "deleted", "promoted", "demoted", "stats")
+
+    def __init__(
+        self,
+        created: Dict[Edge, int],
+        deleted: Dict[Edge, int],
+        promoted: Dict[Edge, Tuple[int, int]],
+        demoted: Dict[Edge, Tuple[int, int]],
+        stats: UpdateStats,
+    ) -> None:
+        self.created = created      #: new edge -> its kappa
+        self.deleted = deleted      #: removed edge -> its old kappa
+        self.promoted = promoted    #: edge -> (old kappa, new kappa), rising
+        self.demoted = demoted      #: edge -> (old kappa, new kappa), falling
+        self.stats = stats
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.created or self.deleted or self.promoted or self.demoted)
+
+    def touched_edges(self) -> Set[Edge]:
+        """Every edge whose kappa value is different after the batch."""
+        return (
+            set(self.created)
+            | set(self.deleted)
+            | set(self.promoted)
+            | set(self.demoted)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KappaDelta(+{len(self.created)} edges, -{len(self.deleted)}, "
+            f"{len(self.promoted)} promoted, {len(self.demoted)} demoted)"
+        )
+
+
+class DynamicTriangleKCore:
+    """Maintains every edge's :math:`\\kappa` under edge insertions/deletions.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.  A private copy is taken unless ``copy=False``; with
+        ``copy=False`` the caller must *only* mutate the graph through this
+        maintainer, otherwise kappa values go stale.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+    >>> core = DynamicTriangleKCore(g)
+    >>> core.kappa_of("A", "B")
+    1
+    >>> _ = core.remove_edge("B", "C")
+    >>> core.kappa_of("A", "B")
+    0
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        copy: bool = True,
+        store_triangles: bool = False,
+    ) -> None:
+        self._graph = graph.copy() if copy else graph
+        self._kappa: Dict[Edge, int] = triangle_kcore_decomposition(self._graph).kappa
+        if store_triangles:
+            from ..graph.triangle_store import TriangleStore
+
+            self._store: Optional["TriangleStore"] = TriangleStore(self._graph)
+        else:
+            self._store = None
+        self._expected_edges = self._graph.num_edges
+
+    def _check_not_stale(self) -> None:
+        """Detect out-of-band graph mutations (possible with copy=False).
+
+        The kappa map is only correct for the graph state the maintainer
+        has seen; a caller that mutates the shared graph directly would
+        silently read wrong densities, so we fail loudly instead.  The
+        check is O(1) (edge-count comparison), so it cannot catch a
+        balanced add+remove — it is a seatbelt, not a proof.
+        """
+        if self._graph.num_edges != self._expected_edges:
+            raise StaleIndexError(
+                "the underlying graph was modified outside this maintainer "
+                f"({self._graph.num_edges} edges vs {self._expected_edges} "
+                "expected); rebuild the DynamicTriangleKCore"
+            )
+
+    def _apexes(self, u: Vertex, v: Vertex):
+        """Triangle apexes of an existing edge (store or intersection)."""
+        if self._store is not None:
+            return self._store.apexes(u, v)
+        return self._graph.common_neighbors(u, v)
+
+    # ------------------------------------------------------------------ #
+    # read API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        """The maintained graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def kappa(self) -> Dict[Edge, int]:
+        """Live ``{edge: kappa}`` map (treat as read-only)."""
+        return self._kappa
+
+    def kappa_of(self, u: Vertex, v: Vertex) -> int:
+        """Current :math:`\\kappa` of edge ``{u, v}``."""
+        return self._kappa[canonical_edge(u, v)]
+
+    def result(self) -> TriangleKCoreResult:
+        """Snapshot the current state as a :class:`TriangleKCoreResult`."""
+        return kappa_from_mapping(self._kappa)
+
+    @property
+    def max_kappa(self) -> int:
+        return max(self._kappa.values(), default=0)
+
+    # ------------------------------------------------------------------ #
+    # write API
+    # ------------------------------------------------------------------ #
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add an isolated vertex (no kappa effect)."""
+        self._graph.add_vertex(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
+        """Insert edge ``{u, v}`` and repair kappa values incrementally.
+
+        Raises :class:`EdgeExistsError` on duplicates and
+        :class:`SelfLoopError` for ``u == v``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self._check_not_stale()
+        if self._graph.has_edge(u, v):
+            raise EdgeExistsError(u, v)
+        stats = UpdateStats()
+        e0 = canonical_edge(u, v)
+        if self._store is not None:
+            apexes = sorted(self._store.add_edge(u, v), key=repr)
+        else:
+            apexes = (
+                sorted(self._graph.common_neighbors(u, v), key=repr)
+                if self._graph.has_vertex(u) and self._graph.has_vertex(v)
+                else []
+            )
+            self._graph.add_edge(u, v)
+        stats.edges_changed += 1
+        self._expected_edges = self._graph.num_edges
+        if not apexes:
+            self._kappa[e0] = 0
+            return stats
+
+        # Phase A: the new edge immediately reaches the h-index of its
+        # triangles' side minima — achievable with *old* side values alone
+        # (take H = {kappa >= k_base} + e0: every triangle of e0 whose two
+        # sides sit in H lies in H, so H is a (k_base)-Triangle K-Core).
+        side_minima = [
+            min(
+                self._kappa[canonical_edge(u, w)],
+                self._kappa[canonical_edge(v, w)],
+            )
+            for w in apexes
+        ]
+        k_base = h_index(side_minima)
+        self._kappa[e0] = k_base
+
+        # Phase B: coupled promotion passes (Lemma 2 locality).  Levels
+        # below k_base may promote side edges (their new triangle counts
+        # because kappa(e0) exceeds the level); at k_base and above the new
+        # edge itself is a candidate and may keep climbing one level per
+        # pass, carrying neighbors with it.  Old edges are frozen after one
+        # move (Rule 0: at most one level per existing edge per update).
+        frozen: Set[Edge] = set()
+        for k in sorted({m for m in side_minima if m < k_base}):
+            stats.levels_touched += 1
+            self._promote_level(e0, k, frozen, stats)
+        k = k_base
+        while self._kappa[e0] == k:
+            stats.levels_touched += 1
+            if not self._promote_level(e0, k, frozen, stats):
+                break
+            k += 1
+        return stats
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> UpdateStats:
+        """Delete edge ``{u, v}`` and repair kappa values incrementally."""
+        self._check_not_stale()
+        if not self._graph.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        stats = UpdateStats()
+        e0 = canonical_edge(u, v)
+        k_e0 = self._kappa[e0]
+        if self._store is not None:
+            apexes = sorted(self._store.remove_edge(u, v), key=repr)
+        else:
+            apexes = sorted(self._graph.common_neighbors(u, v), key=repr)
+            self._graph.remove_edge(u, v)
+        del self._kappa[e0]
+        stats.edges_changed += 1
+        self._expected_edges = self._graph.num_edges
+
+        # Seed the demotion cascade: a side edge f of a destroyed triangle
+        # counted that triangle at its own level k = kappa(f) only if the
+        # other two edges both had kappa >= k.
+        seeds_by_level: Dict[int, Set[Edge]] = {}
+        for w in apexes:
+            f1 = canonical_edge(u, w)
+            f2 = canonical_edge(v, w)
+            k1 = self._kappa[f1]
+            k2 = self._kappa[f2]
+            if k1 <= min(k_e0, k2) and k1 > 0:
+                seeds_by_level.setdefault(k1, set()).add(f1)
+            if k2 <= min(k_e0, k1) and k2 > 0:
+                seeds_by_level.setdefault(k2, set()).add(f2)
+
+        for k in sorted(seeds_by_level):
+            stats.levels_touched += 1
+            self._demote_level(seeds_by_level[k], k, stats)
+        return stats
+
+    def remove_vertex(self, vertex: Vertex) -> List[UpdateStats]:
+        """Delete a vertex by removing its incident edges one at a time."""
+        stats: List[UpdateStats] = []
+        for neighbor in sorted(self._graph.neighbors(vertex), key=repr):
+            stats.append(self.remove_edge(vertex, neighbor))
+        self._graph.remove_vertex(vertex)
+        return stats
+
+    #: Churn fraction above which ``apply(strategy="auto")`` switches to a
+    #: single recompute.  The ablation sweep (bench_ablation_churn) puts
+    #: the incremental/recompute crossover around 10-20% on every stand-in;
+    #: 10% is the conservative side of that band.
+    AUTO_RECOMPUTE_CHURN = 0.10
+
+    def apply(
+        self,
+        added: Iterable[Tuple[Vertex, Vertex]] = (),
+        removed: Iterable[Tuple[Vertex, Vertex]] = (),
+        *,
+        strategy: str = "incremental",
+    ) -> UpdateStats:
+        """Apply a batch of edge updates (removals first, then insertions).
+
+        ``strategy``:
+
+        * ``"incremental"`` (default) — per-edge Algorithm 2 repairs;
+        * ``"recompute"`` — apply the batch structurally and re-run
+          Algorithm 1 once (cheaper for very large batches);
+        * ``"auto"`` — pick by churn fraction using
+          :attr:`AUTO_RECOMPUTE_CHURN` (measured in
+          ``benchmarks/bench_ablation_churn.py``).
+
+        Returns aggregated statistics.  This is the entry point snapshot
+        streams use (see :func:`repro.graph.io.graph_diff`).
+        """
+        if strategy not in ("incremental", "recompute", "auto"):
+            raise ValueError(
+                f"strategy must be incremental/recompute/auto, got {strategy!r}"
+            )
+        added = list(added)
+        removed = list(removed)
+        if strategy == "auto":
+            churn = (len(added) + len(removed)) / max(self._graph.num_edges, 1)
+            strategy = (
+                "recompute" if churn >= self.AUTO_RECOMPUTE_CHURN else "incremental"
+            )
+        if strategy == "recompute":
+            return self._apply_by_recompute(added, removed)
+        total = UpdateStats()
+        for u, v in removed:
+            self._merge_stats(total, self.remove_edge(u, v))
+        for u, v in added:
+            self._merge_stats(total, self.add_edge(u, v))
+        return total
+
+    def _apply_by_recompute(
+        self,
+        added: List[Tuple[Vertex, Vertex]],
+        removed: List[Tuple[Vertex, Vertex]],
+    ) -> UpdateStats:
+        """Batch path: mutate the graph, then one fresh Algorithm 1 run."""
+        self._check_not_stale()
+        stats = UpdateStats()
+        before = self._kappa
+        if self._store is not None:
+            for u, v in removed:
+                self._store.remove_edge(u, v)
+            for u, v in added:
+                self._store.add_edge(u, v)
+        else:
+            for u, v in removed:
+                self._graph.remove_edge(u, v)
+            for u, v in added:
+                self._graph.add_edge(u, v)
+        self._expected_edges = self._graph.num_edges
+        self._kappa = triangle_kcore_decomposition(self._graph).kappa
+        stats.edges_changed = sum(
+            1
+            for edge, value in self._kappa.items()
+            if before.get(edge) != value
+        ) + sum(1 for edge in before if edge not in self._kappa)
+        return stats
+
+    def diff_apply(
+        self,
+        added: Iterable[Tuple[Vertex, Vertex]] = (),
+        removed: Iterable[Tuple[Vertex, Vertex]] = (),
+        *,
+        strategy: str = "incremental",
+    ) -> KappaDelta:
+        """Like :meth:`apply`, but report exactly what changed.
+
+        Snapshots the kappa map around the batch and diffs it — O(|E|)
+        bookkeeping on top of the update itself, independent of which
+        strategy performed it.
+        """
+        before = dict(self._kappa)
+        stats = self.apply(added=added, removed=removed, strategy=strategy)
+        after = self._kappa
+        created: Dict[Edge, int] = {}
+        deleted: Dict[Edge, int] = {}
+        promoted: Dict[Edge, Tuple[int, int]] = {}
+        demoted: Dict[Edge, Tuple[int, int]] = {}
+        for edge, new_value in after.items():
+            old_value = before.get(edge)
+            if old_value is None:
+                created[edge] = new_value
+            elif new_value > old_value:
+                promoted[edge] = (old_value, new_value)
+            elif new_value < old_value:
+                demoted[edge] = (old_value, new_value)
+        for edge, old_value in before.items():
+            if edge not in after:
+                deleted[edge] = old_value
+        return KappaDelta(created, deleted, promoted, demoted, stats)
+
+    @staticmethod
+    def _merge_stats(total: UpdateStats, one: UpdateStats) -> None:
+        total.candidates_examined += one.candidates_examined
+        total.edges_changed += one.edges_changed
+        total.levels_touched += one.levels_touched
+
+    # ------------------------------------------------------------------ #
+    # insertion internals
+    # ------------------------------------------------------------------ #
+
+    def _promote_level(
+        self,
+        e0: Edge,
+        k: int,
+        frozen: Set[Edge],
+        stats: UpdateStats,
+    ) -> bool:
+        """Run the level-``k`` promotion cascade around the new edge ``e0``.
+
+        Candidates are ``e0`` plus the unfrozen level-``k`` edges reachable
+        from it through level-``k`` triangle connectivity (Lemma 2).  The
+        cascade peels candidates that cannot assemble ``k + 1`` triangles
+        whose other edges end at level >= ``k + 1``; survivors move to
+        ``k + 1``.  Returns True when ``e0`` itself survived (it may then
+        climb further levels).
+
+        Edges in ``frozen`` already moved during this insertion and are
+        settled (Rule 0: an existing edge moves at most one level per
+        update); they neither join the candidate set nor count as support.
+
+        When ``kappa(e0) > k`` (a side-only pass below the new edge's own
+        level) the search starts from the level-``k`` side edges of the new
+        triangles instead, and ``e0`` simply counts as qualified support.
+        """
+        kappa = self._kappa
+        apexes_of = self._apexes
+        e0_is_candidate = kappa[e0] == k
+
+        # Each candidate's relevant triangles are computed once per pass:
+        # tris[e] lists the (g1, g2) side pairs with both sides at level
+        # >= k — the only triangles that can count toward level k + 1.
+        tris: Dict[Edge, List[tuple]] = {}
+
+        def relevant_triangles(edge: Edge) -> List[tuple]:
+            cached = tris.get(edge)
+            if cached is None:
+                a, b = edge
+                cached = []
+                for w in apexes_of(a, b):
+                    g1 = canonical_edge(a, w)
+                    g2 = canonical_edge(b, w)
+                    if kappa[g1] >= k and kappa[g2] >= k:
+                        cached.append((g1, g2))
+                tris[edge] = cached
+            return cached
+
+        def qualifies(edge: Edge, candidates: Set[Edge]) -> bool:
+            value = kappa[edge]
+            return value > k or (value == k and edge in candidates)
+
+        # Grow the candidate set over level-k triangle connectivity with
+        # eligibility pruning: an edge whose optimistic support (side pairs
+        # where every level-k edge is hypothetically promotable) cannot
+        # reach k + 1 can never be promoted, so the search does not expand
+        # through it — this keeps the traversal local instead of sweeping
+        # an entire level-k triangle-connected component.
+        if e0_is_candidate:
+            roots = [e0]
+        else:
+            u0, v0 = e0
+            roots = []
+            for w in apexes_of(u0, v0):
+                f1 = canonical_edge(u0, w)
+                f2 = canonical_edge(v0, w)
+                if kappa[f1] == k and kappa[f2] >= k and f1 not in frozen:
+                    roots.append(f1)
+                if kappa[f2] == k and kappa[f1] >= k and f2 not in frozen:
+                    roots.append(f2)
+
+        candidates: Set[Edge] = set()
+        visited: Set[Edge] = set(roots)
+        stack: List[Edge] = list(roots)
+        while stack:
+            edge = stack.pop()
+            stats.candidates_examined += 1
+            pairs = relevant_triangles(edge)
+            optimistic = sum(
+                1
+                for g1, g2 in pairs
+                if (kappa[g1] > k or g1 not in frozen)
+                and (kappa[g2] > k or g2 not in frozen)
+            )
+            if optimistic < k + 1:
+                continue  # can never promote; do not expand through it
+            candidates.add(edge)
+            for g1, g2 in pairs:
+                for other in (g1, g2):
+                    if (
+                        kappa[other] == k
+                        and other not in visited
+                        and other not in frozen
+                    ):
+                        visited.add(other)
+                        stack.append(other)
+        if e0_is_candidate and e0 not in candidates:
+            # The new edge itself cannot reach k + 1; no level-k edge can
+            # gain support without it.
+            return False
+
+        # Eligibility cascade: s(e) counts triangles whose other two edges
+        # are above level k or are still-candidate level-k edges.  Peel
+        # candidates that cannot reach k + 1 supporting triangles; survivors
+        # form a genuine (k+1)-Triangle K-Core together with the >k edges.
+        support: Dict[Edge, int] = {
+            edge: sum(
+                1
+                for g1, g2 in relevant_triangles(edge)
+                if qualifies(g1, candidates) and qualifies(g2, candidates)
+            )
+            for edge in candidates
+        }
+        worklist: List[Edge] = [e for e in candidates if support[e] < k + 1]
+        while worklist:
+            edge = worklist.pop()
+            if edge not in candidates or support[edge] >= k + 1:
+                continue
+            candidates.discard(edge)
+            for g1, g2 in relevant_triangles(edge):
+                # The triangle counted for g1/g2 while `edge` was still a
+                # candidate; now that it is peeled, decrement survivors
+                # whose triangle remains otherwise qualified.
+                if qualifies(g1, candidates) and qualifies(g2, candidates):
+                    for other in (g1, g2):
+                        if other in candidates:
+                            support[other] -= 1
+                            if support[other] < k + 1:
+                                worklist.append(other)
+        for edge in candidates:
+            kappa[edge] = k + 1
+            stats.edges_changed += 1
+            if edge != e0:
+                frozen.add(edge)
+        return e0 in candidates
+
+    # ------------------------------------------------------------------ #
+    # deletion internals
+    # ------------------------------------------------------------------ #
+
+    def _demote_level(self, seeds: Set[Edge], k: int, stats: UpdateStats) -> None:
+        """Demote level-``k`` edges that lost their level-``k`` support.
+
+        Poke-and-recompute cascade: whenever an edge is demoted, its level-k
+        triangle neighbors are re-examined.  Each edge demotes at most once
+        (Rule 0: change is at most one per deleted edge).
+        """
+        kappa = self._kappa
+        apexes_of = self._apexes
+        pending: List[Edge] = list(seeds)
+        while pending:
+            edge = pending.pop()
+            if kappa.get(edge, -1) != k:
+                continue
+            stats.candidates_examined += 1
+            a, b = edge
+            count = 0
+            for w in apexes_of(a, b):
+                if (
+                    kappa[canonical_edge(a, w)] >= k
+                    and kappa[canonical_edge(b, w)] >= k
+                ):
+                    count += 1
+                    if count >= k:
+                        break
+            if count >= k:
+                continue
+            kappa[edge] = k - 1
+            stats.edges_changed += 1
+            # The demotion may strip support from level-k neighbors.
+            for w in apexes_of(a, b):
+                g1 = canonical_edge(a, w)
+                g2 = canonical_edge(b, w)
+                k1 = kappa[g1]
+                k2 = kappa[g2]
+                # The triangle (edge, g1, g2) supported g1 at level k only
+                # if g2 also sat at >= k (edge itself sat at k before the
+                # demotion, so it qualified).
+                if k1 == k and k2 >= k:
+                    pending.append(g1)
+                if k2 == k and k1 >= k:
+                    pending.append(g2)
+
+
+def insertion_upper_bound(side_levels: List[int]) -> int:
+    """Upper bound on the new edge's kappa after an insertion.
+
+    Every side edge can rise by at most one (Rule 0), so the new edge's
+    level is bounded by the h-index of ``min(side levels) + 1`` over its
+    triangles.  The climb loop in :meth:`DynamicTriangleKCore.add_edge`
+    terminates within this bound; exposed for tests and documentation.
+    """
+    return h_index([level + 1 for level in side_levels])

@@ -1,0 +1,164 @@
+"""The community hierarchy: how dense communities nest across levels.
+
+Level subgraphs nest (``kappa >= k+1`` edges are a subset of
+``kappa >= k`` edges), so the triangle-connected communities of all levels
+form a forest: a level-``k`` community contains the level-``k+1``
+communities built from its edges.  This module materializes that forest —
+the dendrogram a user descends when exploring a plot ("this broad plateau
+splits into these two tighter cliques").
+
+Built from a :class:`~repro.core.community.CommunityIndex` (one union-find
+sweep); navigation is then pure tree walking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..graph.edge import Vertex
+from ..graph.undirected import Graph
+from .community import CommunityIndex
+from .extract import vertex_set_of_edges
+from .triangle_kcore import TriangleKCoreResult
+
+
+@dataclass
+class CommunityNode:
+    """One community with its tighter sub-communities.
+
+    A community that survives several consecutive levels unchanged is
+    represented by a single node: ``first_level`` is where it appears,
+    ``level`` the deepest level it persists to (its true density).
+    """
+
+    level: int
+    edges: frozenset
+    first_level: int = 0
+    children: List["CommunityNode"] = field(default_factory=list)
+    parent: Optional["CommunityNode"] = None
+
+    def __post_init__(self) -> None:
+        if self.first_level == 0:
+            self.first_level = self.level
+
+    @property
+    def vertices(self) -> Set[Vertex]:
+        return vertex_set_of_edges(set(self.edges))
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def estimated_clique_size(self) -> int:
+        return self.level + 2
+
+    def walk(self) -> Iterator["CommunityNode"]:
+        """Depth-first traversal of this subtree (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["CommunityNode"]:
+        """The densest (childless) communities under this node."""
+        for node in self.walk():
+            if not node.children:
+                yield node
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityNode(level={self.level}, vertices={self.size}, "
+            f"children={len(self.children)})"
+        )
+
+
+class CommunityHierarchy:
+    """The forest of nested triangle-connected communities.
+
+    Examples
+    --------
+    >>> from ..graph.undirected import complete_graph
+    >>> g = complete_graph(5)
+    >>> _ = g.add_edge(0, 10), g.add_edge(1, 10), g.add_edge(10, 11)
+    >>> hierarchy = CommunityHierarchy(g)
+    >>> [r.level for r in hierarchy.roots]
+    [1]
+    >>> [c.level for c in hierarchy.roots[0].children]
+    [3]
+    """
+
+    def __init__(
+        self, graph: Graph, result: Optional[TriangleKCoreResult] = None
+    ) -> None:
+        index = CommunityIndex(graph, result)
+        self._result = index.result
+        self.roots: List[CommunityNode] = []
+        nodes_by_level: Dict[int, List[CommunityNode]] = {}
+        for k in range(1, index.max_level + 1):
+            nodes_by_level[k] = [
+                CommunityNode(level=k, edges=frozenset(community))
+                for community in index.communities_at(k)
+            ]
+        # Attach deepest levels first so that when a level-k node collapses
+        # an identical level-(k+1) chain link, the grandchildren it adopts
+        # are already in place.
+        for k in range(index.max_level - 1, 0, -1):
+            for node in nodes_by_level[k]:
+                for candidate in nodes_by_level.get(k + 1, []):
+                    if not candidate.edges <= node.edges:
+                        continue
+                    if candidate.edges == node.edges:
+                        # Chain link: the community survives unchanged at
+                        # the next level.  Absorb it: keep the deeper
+                        # node's level (its true density) and adopt its
+                        # children directly.
+                        node.level = candidate.level
+                        node.children.extend(candidate.children)
+                        for grandchild in candidate.children:
+                            grandchild.parent = node
+                    else:
+                        node.children.append(candidate)
+                        candidate.parent = node
+        self.roots = nodes_by_level.get(1, [])
+
+    @property
+    def max_level(self) -> int:
+        return self._result.max_kappa
+
+    def walk(self) -> Iterator[CommunityNode]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def densest_leaves(self) -> List[CommunityNode]:
+        """All childless nodes, densest level first."""
+        leaves = [leaf for root in self.roots for leaf in root.leaves()]
+        leaves.sort(key=lambda n: (-n.level, -n.size))
+        return leaves
+
+    def ascii_tree(self, *, max_children: int = 8) -> str:
+        """Indented text rendering (for CLI / examples)."""
+        lines: List[str] = []
+
+        def visit(node: CommunityNode, depth: int) -> None:
+            span = (
+                f"level {node.level}"
+                if node.first_level == node.level
+                else f"levels {node.first_level}-{node.level}"
+            )
+            lines.append(
+                "  " * depth
+                + f"{span} (~{node.estimated_clique_size}-clique), "
+                f"{node.size} vertices"
+            )
+            for child in node.children[:max_children]:
+                visit(child, depth + 1)
+            if len(node.children) > max_children:
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"... {len(node.children) - max_children} more"
+                )
+
+        for root in self.roots:
+            visit(root, 0)
+        return "\n".join(lines)

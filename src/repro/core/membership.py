@@ -1,0 +1,110 @@
+"""Core-membership bookkeeping: AddToCore / DelFromCore / IsInCore.
+
+Algorithm 1 (steps 5 and 14) maintains, for every edge, the set of triangles
+currently believed to be in the edge's maximum Triangle K-Core.  The paper
+notes the bookkeeping "is not necessary" for the static decomposition "but it
+will be useful for dynamic update algorithms"; it also powers the Rule 1
+recovery check (§IX-A) and the subgraph extraction used in the PPI case
+study.
+
+We keep the sets explicit (one ``set`` of canonical triangles per edge).  For
+memory-constrained runs the paper's alternative — recompute triangles on
+demand and recover membership through Rule 1 — is provided by
+:func:`recover_membership_rule1`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+from ..graph.edge import Edge, Triangle, triangle_edges
+from ..graph.undirected import Graph
+
+
+class CoreMembership:
+    """Per-edge record of which triangles sit in the edge's maximum core.
+
+    The three operations named in the paper:
+
+    * :meth:`add_to_core` — AddToCore(t, e)
+    * :meth:`del_from_core` — DelFromCore(t, e)
+    * :meth:`is_in_core` — IsInCore(t, e)
+    """
+
+    def __init__(self) -> None:
+        self._core: Dict[Edge, Set[Triangle]] = {}
+
+    def ensure_edge(self, edge: Edge) -> None:
+        """Create an empty membership set for ``edge`` if absent."""
+        self._core.setdefault(edge, set())
+
+    def drop_edge(self, edge: Edge) -> None:
+        """Forget the membership set of a deleted edge."""
+        self._core.pop(edge, None)
+
+    def add_to_core(self, triangle: Triangle, edge: Edge) -> None:
+        """Record that ``triangle`` is in ``edge``'s maximum core."""
+        self._core.setdefault(edge, set()).add(triangle)
+
+    def del_from_core(self, triangle: Triangle, edge: Edge) -> None:
+        """Record that ``triangle`` left ``edge``'s maximum core."""
+        members = self._core.get(edge)
+        if members is not None:
+            members.discard(triangle)
+
+    def is_in_core(self, triangle: Triangle, edge: Edge) -> bool:
+        """True if ``triangle`` is currently in ``edge``'s maximum core."""
+        members = self._core.get(edge)
+        return members is not None and triangle in members
+
+    def triangles_of(self, edge: Edge) -> Set[Triangle]:
+        """The triangles currently in ``edge``'s maximum core (a live set)."""
+        return self._core.setdefault(edge, set())
+
+    def count(self, edge: Edge) -> int:
+        """Number of triangles in ``edge``'s maximum core."""
+        members = self._core.get(edge)
+        return 0 if members is None else len(members)
+
+    def edges(self) -> Iterable[Edge]:
+        """Edges with a membership record."""
+        return self._core.keys()
+
+    def copy(self) -> "CoreMembership":
+        clone = CoreMembership()
+        clone._core = {edge: set(members) for edge, members in self._core.items()}
+        return clone
+
+
+def recover_membership_rule1(
+    graph: Graph,
+    kappa: Mapping[Edge, int],
+    order_index: Mapping[Edge, float],
+) -> CoreMembership:
+    """Rebuild core membership from kappa values and processing order.
+
+    Implements the paper's Rule 1 (§IX-A): a triangle's "process time" is the
+    smallest ``order`` value among its edges; for an edge ``e`` with
+    ``kappa(e) = k``, sorting its triangles by increasing process time, the
+    *last* ``k`` triangles are exactly the ones in ``e``'s maximum Triangle
+    K-Core.  This is what lets the dynamic algorithms run without storing
+    triangles (paper §IV-A last paragraph).
+    """
+    from ..graph.triangles import triangles_of_edge
+
+    membership = CoreMembership()
+    for edge in graph.edges():
+        membership.ensure_edge(edge)
+        k = kappa.get(edge, 0)
+        if k <= 0:
+            continue
+        u, v = edge
+        triangles = list(triangles_of_edge(graph, u, v))
+
+        def process_time(triangle: Triangle) -> float:
+            return min(order_index[e] for e in triangle_edges(triangle))
+
+        triangles.sort(key=process_time)
+        for triangle in triangles[-k:]:
+            membership.add_to_core(triangle, edge)
+    return membership

@@ -1,0 +1,95 @@
+"""Save / load decomposition results.
+
+Decomposing a large graph once and reusing the kappa values across
+sessions (plots, community queries, dynamic warm starts) is a common
+workflow; this module serializes a :class:`TriangleKCoreResult` to a
+versioned JSON document.
+
+Vertices must be JSON-representable scalars (int / str / float / bool);
+anything richer raises :class:`~repro.exceptions.DecompositionError` at
+save time rather than producing an unloadable file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Union
+
+from ..exceptions import DecompositionError
+from ..graph.edge import Edge, Vertex, canonical_edge
+from .triangle_kcore import TriangleKCoreResult
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_VERSION = 1
+_SCALARS = (int, str, float, bool)
+
+
+def _check_vertex(vertex: Vertex) -> None:
+    if not isinstance(vertex, _SCALARS):
+        raise DecompositionError(
+            f"vertex {vertex!r} of type {type(vertex).__name__} is not "
+            "JSON-serializable; persistence supports int/str/float/bool "
+            "vertices"
+        )
+
+
+def save_result(result: TriangleKCoreResult, path: PathLike) -> None:
+    """Write ``result`` to ``path`` as versioned JSON.
+
+    The membership bookkeeping (if any) is intentionally not persisted —
+    it is O(|Tri|) and recoverable via Rule 1 from exactly the data saved
+    here (kappa + processing order).
+    """
+    entries: List[list] = []
+    for edge in result.processing_order:
+        u, v = edge
+        _check_vertex(u)
+        _check_vertex(v)
+        entries.append([u, v, result.kappa[edge]])
+    # Edges not in the processing order (possible for synthesized results)
+    # are appended so kappa is always complete.
+    ordered = set(result.processing_order)
+    for edge, kappa in sorted(result.kappa.items(), key=repr):
+        if edge not in ordered:
+            u, v = edge
+            _check_vertex(u)
+            _check_vertex(v)
+            entries.append([u, v, kappa])
+    document = {
+        "format": "triangle-kcore-result",
+        "version": FORMAT_VERSION,
+        "edges": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def load_result(path: PathLike) -> TriangleKCoreResult:
+    """Read a result written by :func:`save_result`.
+
+    Raises :class:`DecompositionError` for wrong format/version documents.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != (
+        "triangle-kcore-result"
+    ):
+        raise DecompositionError(f"{path}: not a triangle-kcore result file")
+    if document.get("version") != FORMAT_VERSION:
+        raise DecompositionError(
+            f"{path}: unsupported version {document.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    kappa: dict[Edge, int] = {}
+    processing_order: List[Edge] = []
+    for entry in document["edges"]:
+        if not (isinstance(entry, list) and len(entry) == 3):
+            raise DecompositionError(f"{path}: malformed edge entry {entry!r}")
+        u, v, k = entry
+        edge = canonical_edge(u, v)
+        kappa[edge] = int(k)
+        processing_order.append(edge)
+    return TriangleKCoreResult(kappa=kappa, processing_order=processing_order)

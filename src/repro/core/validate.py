@@ -1,0 +1,164 @@
+"""Invariant checkers for Triangle K-Core decompositions.
+
+These functions verify, from first principles (Definitions 3-4 and
+Theorem 1), that a ``{edge: kappa}`` map is the correct decomposition of a
+graph.  They are deliberately independent of the peeling implementation —
+:func:`check_decomposition` re-derives everything from raw triangle counts —
+so the test suite can use them as an oracle for both the static and the
+dynamic algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..exceptions import ValidationError
+from ..graph.edge import Edge, canonical_edge
+from ..graph.undirected import Graph
+
+
+def check_covers_all_edges(graph: Graph, kappa: Mapping[Edge, int]) -> None:
+    """Every edge of the graph must have a kappa value, and nothing extra."""
+    graph_edges = set(graph.edges())
+    kappa_edges = set(kappa)
+    missing = graph_edges - kappa_edges
+    extra = kappa_edges - graph_edges
+    if missing:
+        raise ValidationError(f"edges without kappa: {sorted(missing, key=repr)[:5]}")
+    if extra:
+        raise ValidationError(f"kappa for non-edges: {sorted(extra, key=repr)[:5]}")
+
+
+def check_level_subgraphs(graph: Graph, kappa: Mapping[Edge, int]) -> None:
+    """Definition 3 at every level: in the subgraph of edges with
+    ``kappa >= k``, every edge must participate in at least ``k`` triangles.
+
+    This certifies every kappa value as a *lower* bound: the level subgraph
+    is a Triangle K-Core with number ``k`` containing the edge (Claim 2).
+    """
+    max_k = max(kappa.values(), default=0)
+    for k in range(1, max_k + 1):
+        level_edges = {edge for edge, value in kappa.items() if value >= k}
+        members = Graph()
+        for u, v in level_edges:
+            members.add_edge(u, v, exist_ok=True)
+        for u, v in level_edges:
+            if members.edge_support(u, v) < k:
+                raise ValidationError(
+                    f"edge ({u!r}, {v!r}) has kappa >= {k} but only "
+                    f"{members.edge_support(u, v)} triangles in the level-{k} "
+                    "subgraph"
+                )
+
+
+def check_maximality(graph: Graph, kappa: Mapping[Edge, int]) -> None:
+    """No kappa value can be raised: eroding the level-(k+1) candidate set
+    starting from *all* edges must reproduce exactly ``{kappa >= k + 1}``.
+
+    Together with :func:`check_level_subgraphs` this pins kappa exactly:
+    the lower-bound check shows ``kappa(e)`` is achievable, and this check
+    shows ``kappa(e) + 1`` is not.
+    """
+    max_k = max(kappa.values(), default=0)
+    for k in range(1, max_k + 2):
+        # Greatest fixed point: erode edges with < k in-set triangles.
+        in_set = set(kappa)
+        changed = True
+        while changed:
+            changed = False
+            survivors = set()
+            member_graph = Graph()
+            for u, v in in_set:
+                member_graph.add_edge(u, v, exist_ok=True)
+            for u, v in in_set:
+                count = 0
+                for w in member_graph.common_neighbors(u, v):
+                    if (
+                        canonical_edge(u, w) in in_set
+                        and canonical_edge(v, w) in in_set
+                    ):
+                        count += 1
+                if count >= k:
+                    survivors.add((u, v))
+            if survivors != in_set:
+                in_set = survivors
+                changed = True
+        expected = {edge for edge, value in kappa.items() if value >= k}
+        if in_set != expected:
+            raise ValidationError(
+                f"level-{k} maximal Triangle K-Core mismatch: erosion keeps "
+                f"{len(in_set)} edges, kappa claims {len(expected)}"
+            )
+
+
+def check_theorem1(graph: Graph, kappa: Mapping[Edge, int]) -> None:
+    """Theorem 1 consequence: an edge with ``kappa = k`` must have at least
+    ``k`` triangles whose other two edges have ``kappa >= k``.
+
+    (Those are exactly the triangles of its maximum Triangle K-Core.)
+    """
+    for (u, v), k in kappa.items():
+        if k == 0:
+            continue
+        qualified = 0
+        for w in graph.common_neighbors(u, v):
+            if (
+                kappa.get(canonical_edge(u, w), -1) >= k
+                and kappa.get(canonical_edge(v, w), -1) >= k
+            ):
+                qualified += 1
+        if qualified < k:
+            raise ValidationError(
+                f"edge ({u!r}, {v!r}) claims kappa={k} but has only "
+                f"{qualified} triangles with both side edges at kappa >= {k}"
+            )
+
+
+def check_decomposition(graph: Graph, kappa: Mapping[Edge, int]) -> None:
+    """Full oracle: raise :class:`ValidationError` unless ``kappa`` is the
+    exact Triangle K-Core decomposition of ``graph``.
+
+    Cost is O(levels * |E| * degree); intended for tests, not production.
+    """
+    check_covers_all_edges(graph, kappa)
+    check_theorem1(graph, kappa)
+    check_level_subgraphs(graph, kappa)
+    check_maximality(graph, kappa)
+
+
+def reference_decomposition(graph: Graph) -> Dict[Edge, int]:
+    """Slow, obviously-correct decomposition by repeated erosion.
+
+    For every level ``k`` starting from 1, erode the remaining edge set to
+    the maximal subgraph where every edge has ``k`` in-set triangles; edges
+    eroded at level ``k`` get ``kappa = k - 1``.  O(|E|^2) worst case —
+    strictly a test oracle.
+    """
+    kappa: Dict[Edge, int] = {edge: 0 for edge in graph.edges()}
+    in_set = set(kappa)
+    k = 1
+    while in_set:
+        member_graph = Graph()
+        for u, v in in_set:
+            member_graph.add_edge(u, v, exist_ok=True)
+        changed = True
+        current = set(in_set)
+        while changed:
+            changed = False
+            for u, v in sorted(current, key=repr):
+                count = 0
+                for w in member_graph.common_neighbors(u, v):
+                    if (
+                        canonical_edge(u, w) in current
+                        and canonical_edge(v, w) in current
+                    ):
+                        count += 1
+                if count < k:
+                    current.discard((u, v))
+                    member_graph.remove_edge(u, v)
+                    changed = True
+        for edge in in_set - current:
+            kappa[edge] = k - 1
+        in_set = current
+        k += 1
+    return kappa

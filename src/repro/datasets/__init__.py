@@ -1,0 +1,65 @@
+"""Synthetic stand-ins for every Table I dataset (see DESIGN.md §3).
+
+Usage::
+
+    from repro.datasets import load, names
+    ppi = load("ppi")
+    print(ppi.graph, ppi.vertex_groups["PRE1"])
+
+Importing this package registers all loaders.
+"""
+
+from .base import Dataset, load, names, register
+from . import classic as _classic  # noqa: F401 - registration side effect
+from . import dblp as _dblp  # noqa: F401
+from . import ppi as _ppi  # noqa: F401
+from . import social as _social  # noqa: F401
+from . import synthetic as _synthetic  # noqa: F401
+from . import wiki as _wiki  # noqa: F401
+from .dblp import (
+    BRIDGE_GROUP_NETWORK,
+    BRIDGE_GROUP_STREAMS,
+    NEW_FORM_AUTHORS,
+    NEW_JOIN_JOINERS,
+    NEW_JOIN_SEED_AUTHORS,
+    snapshot_pair,
+)
+from .ppi import (
+    CLIQUE1_PROTEINS,
+    CLIQUE2_PROTEINS,
+    CLIQUE3_MISSING_EDGE,
+    CLIQUE3_PROTEINS,
+    COMPLEX_20S,
+    COMPLEX_CPF,
+    COMPLEX_REGULATOR,
+)
+from .wiki import (
+    ASTROLOGY_CLIQUE,
+    ASTRONOMY_CLIQUE,
+    TOPIC_A_MERGED,
+    TOPIC_B_MERGED,
+)
+
+__all__ = [
+    "ASTROLOGY_CLIQUE",
+    "ASTRONOMY_CLIQUE",
+    "BRIDGE_GROUP_NETWORK",
+    "BRIDGE_GROUP_STREAMS",
+    "CLIQUE1_PROTEINS",
+    "CLIQUE2_PROTEINS",
+    "CLIQUE3_MISSING_EDGE",
+    "CLIQUE3_PROTEINS",
+    "COMPLEX_20S",
+    "COMPLEX_CPF",
+    "COMPLEX_REGULATOR",
+    "Dataset",
+    "NEW_FORM_AUTHORS",
+    "NEW_JOIN_JOINERS",
+    "NEW_JOIN_SEED_AUTHORS",
+    "TOPIC_A_MERGED",
+    "TOPIC_B_MERGED",
+    "load",
+    "names",
+    "register",
+    "snapshot_pair",
+]

@@ -1,0 +1,84 @@
+"""Dataset objects and the named registry.
+
+Every dataset of the paper's Table I has a synthetic stand-in here (see
+DESIGN.md §3 for the substitution rationale).  A :class:`Dataset` carries
+the graph plus whatever ground truth its case study needs (complex labels
+for PPI, yearly snapshots for DBLP, consecutive snapshots for Wiki).
+
+Datasets are generated deterministically on demand — nothing is stored on
+disk — and are scaled to laptop size; ``paper_vertices`` / ``paper_edges``
+record the original sizes so the Table I benchmark can print both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..exceptions import DatasetError
+from ..graph.edge import Vertex
+from ..graph.undirected import Graph
+
+
+@dataclass
+class Dataset:
+    """A named graph dataset with provenance and optional extras."""
+
+    name: str
+    graph: Graph
+    description: str
+    paper_vertices: int
+    paper_edges: int
+    #: vertex -> group label (PPI complexes); empty when not applicable
+    vertex_groups: Dict[Vertex, str] = field(default_factory=dict)
+    #: ordered snapshots for dynamic case studies; empty when static
+    snapshots: List[Graph] = field(default_factory=list)
+    #: labels aligned with ``snapshots`` ("2003", "2004", ...)
+    snapshot_labels: List[str] = field(default_factory=list)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+
+Loader = Callable[..., Dataset]
+
+_REGISTRY: Dict[str, Loader] = {}
+
+
+def register(name: str) -> Callable[[Loader], Loader]:
+    """Decorator registering a loader under ``name``."""
+
+    def wrap(loader: Loader) -> Loader:
+        if name in _REGISTRY:
+            raise DatasetError(f"dataset {name!r} registered twice")
+        _REGISTRY[name] = loader
+        return loader
+
+    return wrap
+
+
+def load(name: str, **kwargs) -> Dataset:
+    """Instantiate the named dataset (deterministic for fixed kwargs)."""
+    try:
+        loader = _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return loader(**kwargs)
+
+
+def names() -> List[str]:
+    """Registered dataset names, sorted."""
+    return sorted(_REGISTRY)

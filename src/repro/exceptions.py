@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Triangle K-Core library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation does not exist in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """An edge being added is already present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is already in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self loops are not meaningful for triangle analysis and are rejected."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(
+            f"self loop on vertex {vertex!r} rejected: Triangle K-Cores are "
+            "defined on simple undirected graphs"
+        )
+        self.vertex = vertex
+
+
+class DecompositionError(ReproError):
+    """The decomposition state is inconsistent with the underlying graph."""
+
+
+class StaleIndexError(DecompositionError):
+    """A decomposition index was queried after its graph changed under it.
+
+    Raised by :class:`repro.core.dynamic.DynamicTriangleKCore` when the caller
+    mutated the graph directly instead of going through the maintainer's
+    ``add_edge`` / ``remove_edge`` API.
+    """
+
+
+class TemplateError(ReproError):
+    """A template-pattern specification is invalid or cannot be evaluated."""
+
+
+class DatasetError(ReproError):
+    """A named dataset could not be generated or loaded."""
+
+
+class ValidationError(ReproError):
+    """An invariant check failed (see :mod:`repro.core.validate`)."""

@@ -1,0 +1,36 @@
+"""Conversion between :class:`repro.graph.Graph` and networkx.
+
+networkx is an *optional* dependency used for cross-checking (its
+``k_truss`` is an independent implementation of the same decomposition the
+paper computes) and for users who want to hand results to the wider Python
+graph ecosystem.  The import is deferred so the core library works without
+networkx installed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .undirected import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    """Convert to a ``networkx.Graph`` (vertices and edges only)."""
+    import networkx as nx
+
+    result = nx.Graph()
+    result.add_nodes_from(graph.vertices())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def from_networkx(nx_graph: "networkx.Graph") -> Graph:
+    """Convert from a ``networkx.Graph``; parallel edges/self-loops dropped."""
+    graph = Graph(vertices=nx_graph.nodes())
+    for u, v in nx_graph.edges():
+        if u != v:
+            graph.add_edge(u, v, exist_ok=True)
+    return graph

@@ -1,0 +1,148 @@
+"""Edge-list and snapshot I/O.
+
+The on-disk formats are deliberately plain so files interoperate with SNAP /
+networkx tooling:
+
+* **edge list** — one ``u v`` pair per line, ``#`` comments allowed;
+* **snapshot stream** — a directory (or single file) of edge lists, one per
+  timestamp, plus :func:`write_diff` / :func:`read_diff` for the
+  added/removed deltas the dynamic algorithms consume.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from ..exceptions import DatasetError
+from .edge import Edge, canonical_edge
+from .undirected import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def _parse_vertex(token: str) -> object:
+    """Parse a vertex token: int if possible, else the raw string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Load a graph from an edge-list file.
+
+    Blank lines and lines starting with ``#`` or ``%`` are skipped.  Tokens
+    that parse as integers become int vertices; everything else stays a
+    string.  Duplicate edges and self-loops in the file are ignored (the
+    library works on simple graphs).
+    """
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if u == v:
+                continue
+            graph.add_edge(u, v, exist_ok=True)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: PathLike, *, header: str = "") -> None:
+    """Write ``graph`` as an edge-list file (canonical edge per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for u, v in sorted(graph.edges(), key=repr):
+            handle.write(f"{u} {v}\n")
+
+
+def write_diff(
+    added: Iterable[Tuple[object, object]],
+    removed: Iterable[Tuple[object, object]],
+    path: PathLike,
+) -> None:
+    """Write an edge delta file: ``+ u v`` / ``- u v`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v in added:
+            handle.write(f"+ {u} {v}\n")
+        for u, v in removed:
+            handle.write(f"- {u} {v}\n")
+
+
+def read_diff(path: PathLike) -> Tuple[List[Edge], List[Edge]]:
+    """Read a delta file produced by :func:`write_diff`.
+
+    Returns ``(added, removed)`` lists of canonical edges.
+    """
+    added: List[Edge] = []
+    removed: List[Edge] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 3 or parts[0] not in "+-":
+                raise DatasetError(
+                    f"{path}:{line_number}: expected '+/- u v', got {stripped!r}"
+                )
+            edge = canonical_edge(_parse_vertex(parts[1]), _parse_vertex(parts[2]))
+            (added if parts[0] == "+" else removed).append(edge)
+    return added, removed
+
+
+def write_snapshots(
+    snapshots: Iterable[Graph], directory: PathLike, *, prefix: str = "snapshot"
+) -> List[Path]:
+    """Write consecutive graph snapshots into ``directory``.
+
+    Files are named ``<prefix>_000.edges``, ``<prefix>_001.edges``, …
+    Returns the written paths in order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for index, graph in enumerate(snapshots):
+        path = directory / f"{prefix}_{index:03d}.edges"
+        write_edge_list(graph, path, header=f"snapshot {index}")
+        paths.append(path)
+    return paths
+
+
+def read_snapshots(directory: PathLike, *, prefix: str = "snapshot") -> List[Graph]:
+    """Read back the snapshots written by :func:`write_snapshots`, in order."""
+    directory = Path(directory)
+    paths = sorted(directory.glob(f"{prefix}_*.edges"))
+    if not paths:
+        raise DatasetError(f"no '{prefix}_*.edges' files under {directory}")
+    return [read_edge_list(path) for path in paths]
+
+
+def edge_set(graph: Graph) -> set[Edge]:
+    """Return the graph's edges as a set of canonical tuples."""
+    return set(graph.edges())
+
+
+def graph_diff(old: Graph, new: Graph) -> Tuple[List[Edge], List[Edge]]:
+    """Return ``(added, removed)`` canonical edge lists between two snapshots.
+
+    This is the bridge between snapshot streams and the dynamic maintenance
+    API: apply ``added``/``removed`` to a maintainer built on ``old`` and its
+    state matches ``new``.
+    """
+    old_edges = edge_set(old)
+    new_edges = edge_set(new)
+    added = sorted(new_edges - old_edges, key=repr)
+    removed = sorted(old_edges - new_edges, key=repr)
+    return added, removed

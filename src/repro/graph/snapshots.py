@@ -1,0 +1,139 @@
+"""Dynamic graph snapshot streams.
+
+A :class:`SnapshotStream` is an ordered sequence of graph snapshots together
+with the edge deltas between consecutive snapshots.  It is the input shape
+used by the Dual View Plot workflow (paper Algorithm 3, Fig 8) and by the
+template-pattern detectors on evolving graphs (Figs 9-11): each step exposes
+*original* vs *new* edges, which is exactly the black/red distinction of the
+paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .edge import Edge, Vertex
+from .io import graph_diff
+from .undirected import Graph
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """Edge/vertex changes between two consecutive snapshots."""
+
+    added_edges: Tuple[Edge, ...]
+    removed_edges: Tuple[Edge, ...]
+    new_vertices: Tuple[Vertex, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added_edges or self.removed_edges or self.new_vertices)
+
+
+class SnapshotStream:
+    """An immutable ordered sequence of graph snapshots.
+
+    Examples
+    --------
+    >>> g0 = Graph(edges=[(1, 2)])
+    >>> g1 = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+    >>> stream = SnapshotStream([g0, g1])
+    >>> stream.delta(1).added_edges
+    ((1, 3), (2, 3))
+    """
+
+    def __init__(self, snapshots: Sequence[Graph]) -> None:
+        if not snapshots:
+            raise ValueError("a SnapshotStream needs at least one snapshot")
+        self._snapshots: List[Graph] = [g.copy() for g in snapshots]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self._snapshots[index]
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._snapshots)
+
+    def delta(self, index: int) -> SnapshotDelta:
+        """Changes from snapshot ``index - 1`` to snapshot ``index``.
+
+        ``delta(0)`` treats the empty graph as the predecessor, so every edge
+        and vertex of the first snapshot counts as new.
+        """
+        if not 0 <= index < len(self._snapshots):
+            raise IndexError(f"snapshot index {index} out of range")
+        new = self._snapshots[index]
+        old = self._snapshots[index - 1] if index > 0 else Graph()
+        added, removed = graph_diff(old, new)
+        new_vertices = tuple(
+            sorted((v for v in new.vertices() if not old.has_vertex(v)), key=repr)
+        )
+        return SnapshotDelta(
+            added_edges=tuple(added),
+            removed_edges=tuple(removed),
+            new_vertices=new_vertices,
+        )
+
+    def pairs(self) -> Iterator[Tuple[Graph, Graph, SnapshotDelta]]:
+        """Iterate over ``(old, new, delta)`` for consecutive snapshots."""
+        for index in range(1, len(self._snapshots)):
+            yield self._snapshots[index - 1], self._snapshots[index], self.delta(index)
+
+
+def union_graph(old: Graph, new: Graph) -> Graph:
+    """Union of two snapshots — the arena in which template patterns live.
+
+    The template detectors (Figs 9-11) classify edges of ``old ∪ new`` as
+    *original* (present in ``old``) or *new* (only in ``new``); patterns such
+    as Bridge Cliques need both classes present simultaneously.
+    """
+    merged = Graph()
+    for vertex in old.vertices():
+        merged.add_vertex(vertex)
+    for vertex in new.vertices():
+        merged.add_vertex(vertex)
+    for u, v in old.edges():
+        merged.add_edge(u, v, exist_ok=True)
+    for u, v in new.edges():
+        merged.add_edge(u, v, exist_ok=True)
+    return merged
+
+
+def classify_edges(old: Graph, new: Graph) -> dict[Edge, str]:
+    """Label every edge of ``old ∪ new`` as ``"original"`` or ``"new"``.
+
+    An edge present in ``old`` is original (whether or not it survived into
+    ``new``); an edge only in ``new`` is new.  This mirrors the paper's
+    black/red colouring in Figure 4.
+    """
+    labels: dict[Edge, str] = {}
+    for edge in old.edges():
+        labels[edge] = "original"
+    for edge in new.edges():
+        labels.setdefault(edge, "new")
+    return labels
+
+
+def classify_vertices(old: Graph, new: Graph) -> dict[Vertex, str]:
+    """Label every vertex of ``old ∪ new`` as ``"original"`` or ``"new"``."""
+    labels: dict[Vertex, str] = {}
+    for vertex in old.vertices():
+        labels[vertex] = "original"
+    for vertex in new.vertices():
+        labels.setdefault(vertex, "new")
+    return labels
+
+
+def apply_delta(graph: Graph, delta: SnapshotDelta) -> Graph:
+    """Return a copy of ``graph`` with ``delta`` applied (for replay tests)."""
+    result = graph.copy()
+    for vertex in delta.new_vertices:
+        result.add_vertex(vertex)
+    for u, v in delta.removed_edges:
+        result.remove_edge(u, v, missing_ok=True)
+    for u, v in delta.added_edges:
+        result.add_edge(u, v, exist_ok=True)
+    return result

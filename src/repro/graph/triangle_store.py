@@ -1,0 +1,130 @@
+"""A dynamic edge-to-apexes triangle index.
+
+The paper's Algorithm 1 can either store every triangle in memory or
+recompute an edge's triangles on demand (§IV-A last paragraph), and the
+appendix discusses the same trade-off for the dynamic update algorithms.
+:class:`TriangleStore` is the stored side of that trade-off, kept *live*
+under edge insertions and deletions:
+
+* ``apexes(u, v)`` — the triangle apexes of an edge, O(1) lookup;
+* ``add_edge`` / ``remove_edge`` — maintain the index in
+  O(min-degree of the endpoints) per update.
+
+Memory is O(|Tri|); for graphs where that fits, the dynamic maintainer can
+skip its per-cascade common-neighbor intersections (see
+``DynamicTriangleKCore(store_triangles=True)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set
+
+from ..exceptions import EdgeNotFoundError
+from .edge import Edge, Triangle, Vertex, canonical_edge, canonical_triangle
+from .undirected import Graph
+
+
+class TriangleStore:
+    """Maintains ``{edge: set of apex vertices}`` for a dynamic graph.
+
+    The store holds a reference to the graph it indexes; mutate the graph
+    ONLY through the store's ``add_edge`` / ``remove_edge`` so the index
+    stays consistent (the graph object itself is shared, not copied).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2)])
+    >>> store = TriangleStore(g)
+    >>> store.add_edge(0, 2)
+    {1}
+    >>> sorted(store.apexes(0, 1))
+    [2]
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._apexes: Dict[Edge, Set[Vertex]] = {
+            edge: set() for edge in graph.edges()
+        }
+        from .triangles import enumerate_triangles
+
+        for a, b, c in enumerate_triangles(graph):
+            self._apexes[(a, b)].add(c)
+            self._apexes[(a, c)].add(b)
+            self._apexes[(b, c)].add(a)
+
+    @property
+    def graph(self) -> Graph:
+        """The indexed graph (mutate only through the store)."""
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def apexes(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Apex vertices of the edge's triangles (do not mutate).
+
+        Raises :class:`EdgeNotFoundError` for absent edges.
+        """
+        try:
+            return self._apexes[canonical_edge(u, v)]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def support(self, u: Vertex, v: Vertex) -> int:
+        """Triangle count of the edge — O(1)."""
+        return len(self.apexes(u, v))
+
+    def triangles_of_edge(self, u: Vertex, v: Vertex) -> Iterator[Triangle]:
+        """Canonical triangles containing the edge."""
+        for w in self.apexes(u, v):
+            yield canonical_triangle(u, v, w)
+
+    def total_triangles(self) -> int:
+        """Total number of triangles currently indexed."""
+        return sum(len(s) for s in self._apexes.values()) // 3
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Insert ``{u, v}`` into graph and index; return the new apexes."""
+        new_apexes = (
+            self._graph.common_neighbors(u, v)
+            if self._graph.has_vertex(u) and self._graph.has_vertex(v)
+            else set()
+        )
+        self._graph.add_edge(u, v)
+        edge = canonical_edge(u, v)
+        self._apexes[edge] = set(new_apexes)
+        for w in new_apexes:
+            self._apexes[canonical_edge(u, w)].add(v)
+            self._apexes[canonical_edge(v, w)].add(u)
+        return set(new_apexes)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Remove ``{u, v}``; return the apexes of the destroyed triangles."""
+        edge = canonical_edge(u, v)
+        if edge not in self._apexes:
+            raise EdgeNotFoundError(u, v)
+        dead_apexes = self._apexes.pop(edge)
+        self._graph.remove_edge(u, v)
+        for w in dead_apexes:
+            self._apexes[canonical_edge(u, w)].discard(v)
+            self._apexes[canonical_edge(v, w)].discard(u)
+        return dead_apexes
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+
+    def is_consistent(self) -> bool:
+        """Full check against the graph — O(|E| * degree), for tests."""
+        if set(self._apexes) != set(self._graph.edges()):
+            return False
+        for (u, v), apexes in self._apexes.items():
+            if apexes != self._graph.common_neighbors(u, v):
+                return False
+        return True

@@ -1,0 +1,41 @@
+"""Template pattern cliques (paper Algorithm 4): specs, library, detector."""
+
+from .detect import TemplateDetection, detect_on_snapshots, detect_template_cliques
+from .library import (
+    BRIDGE,
+    BUILTIN_TEMPLATES,
+    DENSIFYING,
+    NEW_FORM,
+    NEW_JOIN,
+    STABLE,
+)
+from .spec import (
+    NEW,
+    ORIGINAL,
+    Labeling,
+    TemplateSpec,
+    TriangleView,
+    labeling_from_partition,
+    labeling_from_snapshots,
+    no_possible_triangles,
+)
+
+__all__ = [
+    "BRIDGE",
+    "BUILTIN_TEMPLATES",
+    "DENSIFYING",
+    "Labeling",
+    "NEW",
+    "NEW_FORM",
+    "NEW_JOIN",
+    "ORIGINAL",
+    "STABLE",
+    "TemplateDetection",
+    "TemplateSpec",
+    "TriangleView",
+    "detect_on_snapshots",
+    "detect_template_cliques",
+    "labeling_from_partition",
+    "labeling_from_snapshots",
+    "no_possible_triangles",
+]

@@ -1,0 +1,156 @@
+"""Algorithm 4: detecting template pattern cliques.
+
+Pipeline (paper §V):
+
+1. enumerate all triangles of the arena graph; the ones satisfying the
+   spec's *characteristic* predicate mark their edges and vertices special
+   (steps 1-3);
+2. triangles whose three vertices are special and that satisfy the
+   *possible* predicate mark their edges special too (steps 4-6);
+3. build the special subgraph :math:`G_{spe}` (step 7) and run Algorithm 1
+   on it (step 8);
+4. score edges: special edges get ``kappa + 2`` inside :math:`G_{spe}`,
+   everything else 0 (steps 9-13);
+5. the caller plots the distribution with the ordinary density-plot
+   machinery (step 14) or enumerates the densest pattern cliques directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..graph.edge import Edge, Triangle, Vertex, triangle_edges
+from ..graph.triangles import enumerate_triangles
+from ..graph.undirected import Graph
+from ..core.extract import dense_communities
+from ..core.triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
+from ..viz.density_plot import DensityPlot, density_plot_from_scores
+from .spec import Labeling, TemplateSpec
+
+
+@dataclass
+class TemplateDetection:
+    """Everything Algorithm 4 produces for one pattern on one graph."""
+
+    spec_name: str
+    arena: Graph
+    special_vertices: Set[Vertex]
+    special_edges: Set[Edge]
+    characteristic_triangles: List[Triangle]
+    possible_triangles: List[Triangle]
+    special_graph: Graph
+    result: TriangleKCoreResult
+    scores: Dict[Edge, int] = field(default_factory=dict)
+
+    def plot(self, *, title: str = "", y_mode: str = "reachability") -> DensityPlot:
+        """Step 14: the pattern's clique-distribution density plot.
+
+        Plotted over the full arena graph so pattern cliques stand out
+        against the zeroed background, exactly like the paper's Figs 9-12.
+        """
+        return density_plot_from_scores(
+            self.arena,
+            self.scores,
+            title=title or f"{self.spec_name} distribution",
+            y_mode=y_mode,
+        )
+
+    def densest_cliques(
+        self, *, min_kappa: int = 1
+    ) -> Iterator[Tuple[int, Set[Vertex]]]:
+        """Pattern cliques densest-first as ``(kappa, vertex set)`` pairs.
+
+        ``kappa + 2`` approximates the pattern clique's vertex count; the
+        case studies report the first item (the paper's red-circled clique).
+        """
+        return dense_communities(self.special_graph, self.result, min_kappa=min_kappa)
+
+    @property
+    def max_clique_size_estimate(self) -> int:
+        """``max kappa + 2`` over special edges (0 when nothing matched)."""
+        if not self.result.kappa:
+            return 0
+        return self.result.max_kappa + 2
+
+
+def detect_template_cliques(
+    arena: Graph,
+    labeling: Labeling,
+    spec: TemplateSpec,
+) -> TemplateDetection:
+    """Run Algorithm 4 for ``spec`` on ``arena`` with the given labels.
+
+    ``arena`` is the graph where patterns live — for evolving graphs the
+    union of both snapshots (so deleted-but-original edges still count as
+    context), for static graphs the graph itself.
+    """
+    characteristic: List[Triangle] = []
+    deferred: List[Triangle] = []
+    special_vertices: Set[Vertex] = set()
+    special_edges: Set[Edge] = set()
+
+    # Steps 1-3: characteristic triangles mark vertices and edges special.
+    for triangle in enumerate_triangles(arena):
+        view = labeling.view(triangle)
+        if spec.characteristic(view):
+            characteristic.append(triangle)
+            special_vertices.update(triangle)
+            special_edges.update(triangle_edges(triangle))
+        else:
+            deferred.append(triangle)
+
+    # Steps 4-6: possible triangles among special vertices mark edges.
+    possible: List[Triangle] = []
+    for triangle in deferred:
+        if not all(v in special_vertices for v in triangle):
+            continue
+        if spec.possible(labeling.view(triangle)):
+            possible.append(triangle)
+            special_edges.update(triangle_edges(triangle))
+
+    # Step 7: the special subgraph (special vertices even when isolated).
+    special_graph = Graph(vertices=special_vertices)
+    for u, v in special_edges:
+        special_graph.add_edge(u, v, exist_ok=True)
+
+    # Step 8: Algorithm 1 on the special subgraph.
+    result = triangle_kcore_decomposition(special_graph)
+
+    # Steps 9-13: per-edge scores over the whole arena.
+    scores: Dict[Edge, int] = {}
+    for edge in arena.edges():
+        if edge in special_edges:
+            scores[edge] = result.kappa[edge] + 2
+        else:
+            scores[edge] = 0
+
+    return TemplateDetection(
+        spec_name=spec.name,
+        arena=arena,
+        special_vertices=special_vertices,
+        special_edges=special_edges,
+        characteristic_triangles=sorted(characteristic),
+        possible_triangles=sorted(possible),
+        special_graph=special_graph,
+        result=result,
+        scores=scores,
+    )
+
+
+def detect_on_snapshots(
+    old_graph: Graph,
+    new_graph: Graph,
+    spec: TemplateSpec,
+) -> TemplateDetection:
+    """Convenience: Algorithm 4 on an evolving graph (OG -> NG).
+
+    The arena is the union graph and the labeling follows the paper's
+    black/red convention (original = present in OG).
+    """
+    from ..graph.snapshots import union_graph
+    from .spec import labeling_from_snapshots
+
+    arena = union_graph(old_graph, new_graph)
+    labeling = labeling_from_snapshots(old_graph, new_graph)
+    return detect_template_cliques(arena, labeling, spec)

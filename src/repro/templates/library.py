@@ -1,0 +1,148 @@
+"""Built-in template patterns.
+
+The paper's three case-study patterns (Figure 4) plus two complementary
+patterns that fall out of the same machinery (Stable, Densifying).
+
+Each pattern is a :class:`~repro.templates.spec.TemplateSpec` whose
+predicates transcribe the paper's §V definitions:
+
+* **New Form Clique** — formed entirely by new edges among original
+  vertices; its characteristic triangle has 3 new edges and 3 original
+  vertices (Fig 4(d)); no other triangle type can occur.
+* **Bridge Clique** — merges two previously-disconnected cliques; its
+  characteristic triangle has 3 original vertices, 2 new edges and 1
+  original edge (Fig 4(e)); triangles made of 3 original edges are also
+  possible (the paper's △BCD example).
+* **New Join Clique** — an original clique joined by new vertices; the
+  characteristic triangle contains one new vertex and an original edge
+  between two original vertices (Fig 4(f)); triangles of all-new edges
+  (among the new vertices) and of all-original edges (the old clique) are
+  possible.
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    NEW,
+    ORIGINAL,
+    TemplateSpec,
+    TriangleView,
+    no_possible_triangles,
+)
+
+
+def _new_form_characteristic(view: TriangleView) -> bool:
+    """3 new edges, 3 original vertices (Fig 4(d))."""
+    return view.count_edges(NEW) == 3 and view.count_vertices(ORIGINAL) == 3
+
+
+NEW_FORM = TemplateSpec(
+    name="New Form Clique",
+    characteristic=_new_form_characteristic,
+    possible=no_possible_triangles,
+)
+
+
+def _bridge_characteristic(view: TriangleView) -> bool:
+    """3 original vertices, 2 new edges, 1 original edge (Fig 4(e))."""
+    return (
+        view.count_vertices(ORIGINAL) == 3
+        and view.count_edges(NEW) == 2
+        and view.count_edges(ORIGINAL) == 1
+    )
+
+
+def _bridge_possible(view: TriangleView) -> bool:
+    """Triangles of 3 original edges can sit inside a bridge clique."""
+    return view.count_edges(ORIGINAL) == 3
+
+
+BRIDGE = TemplateSpec(
+    name="Bridge Clique",
+    characteristic=_bridge_characteristic,
+    possible=_bridge_possible,
+)
+
+
+def _new_join_characteristic(view: TriangleView) -> bool:
+    """One new vertex joined to an original 2-vertex clique (Fig 4(f)).
+
+    The new vertex contributes two new edges; the third edge is an original
+    edge between original vertices.
+    """
+    return (
+        view.count_vertices(NEW) == 1
+        and view.count_vertices(ORIGINAL) == 2
+        and view.count_edges(NEW) == 2
+        and view.count_edges(ORIGINAL) == 1
+    )
+
+
+def _new_join_possible(view: TriangleView) -> bool:
+    """All-new-edge triangles (new members) or all-original triangles
+    (the pre-existing clique) — the paper's △ABC / △DEF examples."""
+    return view.count_edges(NEW) == 3 or view.count_edges(ORIGINAL) == 3
+
+
+NEW_JOIN = TemplateSpec(
+    name="New Join Clique",
+    characteristic=_new_join_characteristic,
+    possible=_new_join_possible,
+)
+
+
+def _stable_characteristic(view: TriangleView) -> bool:
+    """3 original edges and vertices: structure that predates the change."""
+    return view.count_edges(ORIGINAL) == 3 and view.count_vertices(ORIGINAL) == 3
+
+
+STABLE = TemplateSpec(
+    name="Stable Clique",
+    characteristic=_stable_characteristic,
+    possible=no_possible_triangles,
+)
+"""Cliques made entirely of original edges — the persistent backbone.
+
+Not one of the paper's three case studies, but the natural complement: on
+an evolving graph, comparing the Stable Clique distribution against the
+New Form distribution separates what a network *is* from what it is
+*becoming*.  On a static graph with attribute labels it selects the
+intra-attribute cliques (the paper's Fig 12 uses exactly the inverse
+labelling).
+"""
+
+
+def _densifying_characteristic(view: TriangleView) -> bool:
+    """Exactly one new edge closing a triangle among original vertices."""
+    return (
+        view.count_edges(NEW) == 1
+        and view.count_edges(ORIGINAL) == 2
+        and view.count_vertices(ORIGINAL) == 3
+    )
+
+
+def _densifying_possible(view: TriangleView) -> bool:
+    return view.count_edges(ORIGINAL) == 3
+
+
+DENSIFYING = TemplateSpec(
+    name="Densifying Clique",
+    characteristic=_densifying_characteristic,
+    possible=_densifying_possible,
+)
+"""Near-cliques completed by single new edges.
+
+Each characteristic triangle is an old open wedge closed by one new edge —
+a community knitting itself tighter rather than merging with another or
+recruiting outsiders.  A high Densifying reading with a low Bridge reading
+distinguishes consolidation from expansion in an evolving network.
+"""
+
+
+BUILTIN_TEMPLATES = {
+    "new_form": NEW_FORM,
+    "bridge": BRIDGE,
+    "new_join": NEW_JOIN,
+    "stable": STABLE,
+    "densifying": DENSIFYING,
+}

@@ -1,0 +1,154 @@
+"""Template pattern specifications (paper §V, Algorithm 4).
+
+A *template pattern clique* is defined by two triangle predicates:
+
+* **characteristic triangles** — 3-vertex cliques of the pattern such that
+  every vertex of any pattern clique is covered by at least one of them
+  (the paper's requirements 1-2).  Their vertices and edges seed the special
+  subgraph.
+* **possible triangles** — the other triangle types that may occur inside a
+  pattern clique; evaluated only among vertices already marked special.
+
+Predicates look at a triangle through its edge and vertex labels.  Labels
+are plain strings — ``"new"`` / ``"original"`` for evolving graphs (the
+paper's red/black in Figure 4), or any attribute-derived labels for static
+graphs (the PPI Bridge variant labels inter-complex edges "new").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from ..exceptions import TemplateError
+from ..graph.edge import Edge, Triangle, Vertex, canonical_edge, triangle_edges
+from ..graph.undirected import Graph
+
+NEW = "new"
+ORIGINAL = "original"
+
+
+@dataclass(frozen=True)
+class TriangleView:
+    """A triangle plus its labels, as seen by template predicates.
+
+    ``edge_labels`` and ``vertex_labels`` are aligned with
+    ``triangle_edges(triangle)`` and ``triangle`` respectively.
+    """
+
+    triangle: Triangle
+    edge_labels: Tuple[str, str, str]
+    vertex_labels: Tuple[str, str, str]
+
+    def count_edges(self, label: str) -> int:
+        """How many of the triangle's edges carry ``label``."""
+        return sum(1 for l in self.edge_labels if l == label)
+
+    def count_vertices(self, label: str) -> int:
+        """How many of the triangle's vertices carry ``label``."""
+        return sum(1 for l in self.vertex_labels if l == label)
+
+
+TrianglePredicate = Callable[[TriangleView], bool]
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """A user-defined template pattern.
+
+    Attributes
+    ----------
+    name:
+        Human-readable pattern name ("New Form Clique", ...).
+    characteristic:
+        Predicate selecting characteristic triangles (Algorithm 4 step 1).
+    possible:
+        Predicate selecting the additional triangle types allowed inside
+        pattern cliques (step 4); evaluated only on triangles whose three
+        vertices are already special.  Use ``no_possible_triangles`` when
+        the pattern admits none (New Form).
+    """
+
+    name: str
+    characteristic: TrianglePredicate
+    possible: TrianglePredicate
+
+
+def no_possible_triangles(view: TriangleView) -> bool:
+    """Predicate for patterns without extra triangle types."""
+    return False
+
+
+class Labeling:
+    """Edge and vertex labels over a graph.
+
+    Built either from explicit mappings or from a pair of snapshots (see
+    :func:`labeling_from_snapshots`).  Unlabelled items default to
+    ``ORIGINAL`` — convenient for static graphs where only the interesting
+    minority is tagged.
+    """
+
+    def __init__(
+        self,
+        edge_labels: Mapping[Edge, str] | None = None,
+        vertex_labels: Mapping[Vertex, str] | None = None,
+        *,
+        default: str = ORIGINAL,
+    ) -> None:
+        self._edges: Dict[Edge, str] = dict(edge_labels or {})
+        self._vertices: Dict[Vertex, str] = dict(vertex_labels or {})
+        self._default = default
+
+    def edge_label(self, u: Vertex, v: Vertex) -> str:
+        return self._edges.get(canonical_edge(u, v), self._default)
+
+    def vertex_label(self, vertex: Vertex) -> str:
+        return self._vertices.get(vertex, self._default)
+
+    def view(self, triangle: Triangle) -> TriangleView:
+        """Assemble the labelled view of a canonical triangle."""
+        edges = triangle_edges(triangle)
+        return TriangleView(
+            triangle=triangle,
+            edge_labels=tuple(self._edges.get(e, self._default) for e in edges),
+            vertex_labels=tuple(
+                self._vertices.get(v, self._default) for v in triangle
+            ),
+        )
+
+
+def labeling_from_snapshots(old_graph: Graph, new_graph: Graph) -> Labeling:
+    """Label the union of two snapshots: present-in-old => original.
+
+    This realizes the paper's black/red convention of Figure 4 for evolving
+    graphs (OG -> NG).
+    """
+    from ..graph.snapshots import classify_edges, classify_vertices
+
+    return Labeling(
+        edge_labels=classify_edges(old_graph, new_graph),
+        vertex_labels=classify_vertices(old_graph, new_graph),
+    )
+
+
+def labeling_from_partition(
+    graph: Graph, partition: Mapping[Vertex, object]
+) -> Labeling:
+    """Label edges crossing a vertex partition as ``"new"``.
+
+    The paper's static PPI variant (Fig 12): an edge is "new" when it joins
+    two different complexes, vertices keep their default label.  Vertices
+    missing from ``partition`` raise :class:`TemplateError` — silently
+    treating them as one extra complex would fabricate bridges.
+    """
+    missing = [v for v in graph.vertices() if v not in partition]
+    if missing:
+        raise TemplateError(
+            f"partition misses {len(missing)} vertices, e.g. "
+            f"{sorted(missing, key=repr)[:3]}"
+        )
+    edge_labels = {
+        (u, v): (NEW if partition[u] != partition[v] else ORIGINAL)
+        for u, v in graph.edges()
+    }
+    return Labeling(edge_labels=edge_labels)

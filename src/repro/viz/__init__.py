@@ -1,0 +1,48 @@
+"""Visualization: OPTICS-style density plots, Dual View Plots, renderers."""
+
+from .ascii import render, sparkline
+from .compare import side_by_side_svg, timeline_svg
+from .density_plot import (
+    DensityPlot,
+    Marker,
+    density_plot,
+    density_plot_from_scores,
+    plot_similarity,
+)
+from .dual_view import DualViewPlots, dual_view_from_snapshots, dual_view_plots
+from .explorer import dual_view_explorer_html, explorer_html, save_explorer
+from .ordering import optics_order, order_positions, vertex_scores
+from .report import HtmlReport, decomposition_report
+from .svg import (
+    density_plot_svg,
+    dual_view_svg,
+    graph_drawing_svg,
+    save_svg,
+)
+
+__all__ = [
+    "DensityPlot",
+    "DualViewPlots",
+    "HtmlReport",
+    "Marker",
+    "density_plot",
+    "density_plot_from_scores",
+    "decomposition_report",
+    "density_plot_svg",
+    "explorer_html",
+    "dual_view_explorer_html",
+    "dual_view_from_snapshots",
+    "dual_view_plots",
+    "dual_view_svg",
+    "graph_drawing_svg",
+    "optics_order",
+    "order_positions",
+    "plot_similarity",
+    "render",
+    "save_explorer",
+    "save_svg",
+    "side_by_side_svg",
+    "timeline_svg",
+    "sparkline",
+    "vertex_scores",
+]

@@ -1,0 +1,70 @@
+"""Terminal rendering of density plots.
+
+Keeps the examples and the CLI self-contained: no plotting dependency is
+installed in the reproduction environment, and a bar chart in a terminal is
+enough to see the paper's plateaus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .density_plot import DensityPlot
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(plot: DensityPlot, *, width: int = 100) -> str:
+    """One-line unicode sparkline of the plot heights.
+
+    Downsamples (max-pooling) to ``width`` columns so plateaus survive.
+    """
+    heights = plot.heights
+    if not heights:
+        return ""
+    scale = max(plot.max_height, 1)
+    columns = min(width, len(heights))
+    chunk = len(heights) / columns
+    cells: List[str] = []
+    for i in range(columns):
+        lo = int(i * chunk)
+        hi = max(lo + 1, int((i + 1) * chunk))
+        value = max(heights[lo:hi])
+        level = round(value / scale * (len(_BLOCKS) - 1))
+        cells.append(_BLOCKS[level])
+    return "".join(cells)
+
+
+def render(plot: DensityPlot, *, height: int = 12, width: int = 100) -> str:
+    """Multi-line bar rendering with a y-axis scale and title."""
+    heights = plot.heights
+    lines: List[str] = []
+    if plot.title:
+        lines.append(plot.title)
+    if not heights:
+        lines.append("(empty plot)")
+        return "\n".join(lines)
+    scale = max(plot.max_height, 1)
+    columns = min(width, len(heights))
+    chunk = len(heights) / columns
+    pooled: List[int] = []
+    for i in range(columns):
+        lo = int(i * chunk)
+        hi = max(lo + 1, int((i + 1) * chunk))
+        pooled.append(max(heights[lo:hi]))
+    for row in range(height, 0, -1):
+        threshold = scale * row / height
+        label = f"{threshold:6.1f} |" if row in (height, 1) else "       |"
+        cells = "".join("█" if value >= threshold else " " for value in pooled)
+        lines.append(label + cells)
+    lines.append("       +" + "-" * columns)
+    lines.append(f"        {len(heights)} vertices, max co-clique size {plot.max_height}")
+    for marker in plot.markers:
+        positions = plot.positions()
+        xs = sorted(positions[v] for v in marker.vertices if v in positions)
+        if xs:
+            lines.append(
+                f"        marker[{marker.shape}] {marker.label or '(unlabeled)'}: "
+                f"x in {xs[0]}..{xs[-1]} ({len(xs)} vertices)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Comparison and timeline figures.
+
+* :func:`side_by_side_svg` — a grid of density plots in one SVG, the
+  layout of the paper's Figure 6 (CSV panel next to the Triangle K-Core
+  panel per dataset).
+* :func:`timeline_svg` — a swimlane view of a
+  :class:`~repro.analysis.timeline.CommunityTimeline`: snapshots as
+  columns, communities as dots sized by membership, transitions as lines
+  (merges fan in, splits fan out).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Sequence
+
+from .density_plot import DensityPlot
+from .svg import density_plot_svg
+
+_KIND_COLORS = {
+    "continue": "#90a4ae",
+    "grow": "#2e7d32",
+    "shrink": "#ef6c00",
+    "merge": "#c62828",
+    "split": "#6a1b9a",
+    "form": "#1565c0",
+    "dissolve": "#b0bec5",
+}
+
+
+def side_by_side_svg(
+    plots: Sequence[DensityPlot],
+    *,
+    columns: int = 2,
+    panel_width: int = 450,
+    panel_height: int = 220,
+) -> str:
+    """Stack density plots into a grid (row-major), one standalone SVG."""
+    if not plots:
+        raise ValueError("side_by_side_svg needs at least one plot")
+    columns = max(1, columns)
+    rows = (len(plots) + columns - 1) // columns
+    width = columns * panel_width
+    height = rows * panel_height
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for index, plot in enumerate(plots):
+        x = (index % columns) * panel_width
+        y = (index // columns) * panel_height
+        panel = density_plot_svg(plot, width=panel_width, height=panel_height)
+        body = panel.split("\n", 2)[2].rsplit("</svg>", 1)[0]
+        parts.append(f'<g transform="translate({x},{y})">{body}</g>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def timeline_svg(
+    timeline,
+    *,
+    width: int = 900,
+    row_height: int = 26,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Render a community-evolution timeline as a swimlane SVG.
+
+    Accepts a :class:`repro.analysis.timeline.CommunityTimeline`.  Each
+    snapshot is a column; each tracked community a circle (radius ~ size);
+    each transition a colored connector (see ``_KIND_COLORS``).
+    """
+    snapshots = timeline.communities
+    if not snapshots:
+        raise ValueError("timeline has no snapshots")
+    num_snapshots = len(snapshots)
+    max_rows = max((len(c) for c in snapshots), default=1)
+    height = 60 + max_rows * row_height
+    margin = 70
+    column_gap = (width - 2 * margin) / max(num_snapshots - 1, 1)
+
+    def position(snapshot: int, row: int) -> tuple:
+        return (margin + snapshot * column_gap, 50 + row * row_height)
+
+    # Row assignment: order of appearance within each snapshot.
+    row_of = {}
+    for t, communities in enumerate(snapshots):
+        for row, community in enumerate(communities):
+            row_of[id(community)] = row
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for t in range(num_snapshots):
+        x = margin + t * column_gap
+        label = labels[t] if labels and t < len(labels) else f"t{t}"
+        parts.append(
+            f'<text x="{x:.1f}" y="24" font-size="12" text-anchor="middle" '
+            f'font-family="sans-serif">{html.escape(str(label))}</text>'
+        )
+        parts.append(
+            f'<line x1="{x:.1f}" y1="34" x2="{x:.1f}" y2="{height - 12}" '
+            'stroke="#eceff1"/>'
+        )
+
+    # Transition connectors first (under the dots).
+    for transition in timeline.transitions:
+        color = _KIND_COLORS.get(transition.kind, "#90a4ae")
+        for old in transition.before:
+            for new in transition.after:
+                x1, y1 = position(old.snapshot, row_of[id(old)])
+                x2, y2 = position(new.snapshot, row_of[id(new)])
+                parts.append(
+                    f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                    f'y2="{y2:.1f}" stroke="{color}" stroke-width="1.5"/>'
+                )
+        if not transition.after:  # dissolve: fade out marker
+            old = transition.before[0]
+            x, y = position(old.snapshot, row_of[id(old)])
+            parts.append(
+                f'<text x="{x + 10:.1f}" y="{y + 4:.1f}" font-size="10" '
+                f'fill="{_KIND_COLORS["dissolve"]}" '
+                'font-family="sans-serif">&#215;</text>'
+            )
+
+    # Community dots.
+    for t, communities in enumerate(snapshots):
+        for row, community in enumerate(communities):
+            x, y = position(t, row)
+            radius = 3 + min(community.size, 30) / 4
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" '
+                'fill="#37474f" fill-opacity="0.85"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{y + 3:.1f}" font-size="8" '
+                'fill="white" text-anchor="middle" '
+                f'font-family="sans-serif">{community.size}</text>'
+            )
+
+    # Legend.
+    legend_x = 8
+    legend_y = height - 8
+    for kind, color in _KIND_COLORS.items():
+        parts.append(
+            f'<text x="{legend_x}" y="{legend_y}" font-size="9" fill="{color}" '
+            f'font-family="sans-serif">{kind}</text>'
+        )
+        legend_x += 9 * len(kind) + 14
+    parts.append("</svg>")
+    return "\n".join(parts)

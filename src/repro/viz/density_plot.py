@@ -1,0 +1,169 @@
+"""Density plots: the paper's CSV-style clique-distribution visualization.
+
+A :class:`DensityPlot` is pure data — an ordered list of vertices with a
+height per vertex — independent of any rendering backend.  Heights are
+``co_clique_size`` values (``kappa + 2`` when built from a Triangle K-Core
+decomposition, or CSV's own estimates when built from the baseline), so flat
+plateaus at height ``h`` reveal approximate ``h``-vertex cliques.
+
+Renderers live in :mod:`repro.viz.ascii` and :mod:`repro.viz.svg`; plateau
+analysis in :mod:`repro.analysis.peaks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..graph.edge import Edge, Vertex
+from ..graph.undirected import Graph
+from ..core.triangle_kcore import TriangleKCoreResult
+from .ordering import optics_order, order_positions, vertex_scores
+
+
+@dataclass
+class Marker:
+    """A highlighted region of a plot (the paper's circles/rectangles).
+
+    ``vertices`` are the members; ``label`` and ``shape`` control rendering
+    (``shape`` is one of ``"circle"``, ``"rect"``, ``"ellipse"``,
+    ``"triangle"`` — matching the paper's Figure 8 marker vocabulary).
+    """
+
+    vertices: Tuple[Vertex, ...]
+    label: str = ""
+    shape: str = "circle"
+
+
+@dataclass
+class DensityPlot:
+    """An OPTICS-style clique-distribution plot as data.
+
+    Attributes
+    ----------
+    order:
+        Vertices in plot (x-axis) order.
+    heights:
+        One height per vertex (same indexing as ``order``).
+    title:
+        Free-form title used by the renderers.
+    markers:
+        Highlighted regions (communities of interest).
+    """
+
+    order: List[Vertex]
+    heights: List[int]
+    title: str = ""
+    markers: List[Marker] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.order) != len(self.heights):
+            raise ValueError(
+                f"order has {len(self.order)} vertices but heights has "
+                f"{len(self.heights)} values"
+            )
+
+    @property
+    def max_height(self) -> int:
+        return max(self.heights, default=0)
+
+    def position_of(self, vertex: Vertex) -> int:
+        """X position of ``vertex`` (ValueError if absent)."""
+        try:
+            return self.order.index(vertex)
+        except ValueError:
+            raise ValueError(f"vertex {vertex!r} is not in this plot") from None
+
+    def positions(self) -> Dict[Vertex, int]:
+        """``{vertex: x position}`` lookup table."""
+        return order_positions(self.order)
+
+    def height_of(self, vertex: Vertex) -> int:
+        """Height drawn for ``vertex``."""
+        return self.heights[self.position_of(vertex)]
+
+    def add_marker(
+        self, vertices: Sequence[Vertex], *, label: str = "", shape: str = "circle"
+    ) -> Marker:
+        """Highlight a vertex set; returns the created marker."""
+        marker = Marker(vertices=tuple(vertices), label=label, shape=shape)
+        self.markers.append(marker)
+        return marker
+
+    def series(self) -> List[Tuple[int, int]]:
+        """``(x, height)`` pairs — the raw polyline renderers draw."""
+        return list(enumerate(self.heights))
+
+
+def density_plot(
+    graph: Graph,
+    result: TriangleKCoreResult,
+    *,
+    title: str = "",
+    y_mode: str = "reachability",
+) -> DensityPlot:
+    """Build the paper's density plot from a Triangle K-Core decomposition.
+
+    Heights are ``co_clique_size = kappa + 2`` (edges at kappa 0 still count
+    as 2-cliques; isolated vertices get 0).
+
+    ``y_mode``:
+
+    * ``"reachability"`` (default) — each vertex is drawn at the score of
+      the edge through which the OPTICS-style traversal reached it.  This
+      is the closest match to CSV's published plots.
+    * ``"vertex_max"`` — each vertex is drawn at its best incident edge
+      score; plateaus are flatter, boundaries sharper.
+    """
+    edge_scores = {edge: value + 2 for edge, value in result.kappa.items()}
+    return density_plot_from_scores(graph, edge_scores, title=title, y_mode=y_mode)
+
+
+def density_plot_from_scores(
+    graph: Graph,
+    edge_scores: Mapping[Edge, int],
+    *,
+    title: str = "",
+    y_mode: str = "reachability",
+) -> DensityPlot:
+    """Build a density plot from arbitrary per-edge scores.
+
+    This is the entry point the CSV baseline and the template-pattern
+    detectors use: anything that can score edges can be plotted with the
+    same machinery (paper Algorithm 4 step 14 — "use the same plot method
+    as CSV").
+    """
+    if y_mode not in ("reachability", "vertex_max"):
+        raise ValueError(
+            f"y_mode must be 'reachability' or 'vertex_max', got {y_mode!r}"
+        )
+    order, reach_heights = optics_order(graph, edge_scores)
+    if y_mode == "reachability":
+        heights = reach_heights
+    else:
+        per_vertex = vertex_scores(edge_scores)
+        heights = [per_vertex.get(vertex, 0) for vertex in order]
+    return DensityPlot(order=order, heights=heights, title=title)
+
+
+def plot_similarity(a: DensityPlot, b: DensityPlot) -> float:
+    """Similarity in [0, 1] between two plots over the same vertex set.
+
+    Compares per-vertex heights (invariant to the enumeration order, which
+    the paper notes can shift between CSV and Triangle K-Core plots without
+    changing the trends): 1 - mean(|h_a - h_b|) / max_height.  Returns 1.0
+    for two empty plots.
+    """
+    heights_a = {v: h for v, h in zip(a.order, a.heights)}
+    heights_b = {v: h for v, h in zip(b.order, b.heights)}
+    common = set(heights_a) & set(heights_b)
+    if not common:
+        return 1.0 if not heights_a and not heights_b else 0.0
+    scale = max(
+        max((heights_a[v] for v in common), default=0),
+        max((heights_b[v] for v in common), default=0),
+    )
+    if scale == 0:
+        return 1.0
+    total = sum(abs(heights_a[v] - heights_b[v]) for v in common)
+    return 1.0 - total / (scale * len(common))

@@ -1,0 +1,206 @@
+"""Interactive, self-contained HTML explorers.
+
+The paper describes a visual-analytic *tool*: the user looks at the
+density plot, circles a plateau, inspects its members, and — in the dual
+view — sees where those members sat before the change.  These functions
+produce that tool as a single HTML file with no external dependencies:
+the plot data is embedded as JSON, vanilla JavaScript renders it to a
+canvas and implements hover tooltips, drag-selection and (for the dual
+view) cross-view highlighting.
+
+* :func:`explorer_html` — one density plot, hover + drag-to-inspect;
+* :func:`dual_view_explorer_html` — the Algorithm 3 pair with linked
+  selection (select a plateau in the changed view, its vertices light up
+  in the before view — the paper's cognitive correspondence, live).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import List
+
+from .density_plot import DensityPlot
+from .dual_view import DualViewPlots
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5rem;
+       color: #263238; }
+h1 { font-size: 1.3rem; }
+.panel { position: relative; margin-bottom: 1rem; }
+canvas { border: 1px solid #b0bec5; display: block; cursor: crosshair; }
+#tooltip { position: absolute; background: #263238; color: #eceff1;
+           padding: 2px 8px; border-radius: 3px; font-size: 12px;
+           pointer-events: none; display: none; white-space: nowrap; }
+#selection { margin-top: .6rem; font-size: .9rem; max-width: 60rem; }
+#selection b { color: #c62828; }
+button { margin-left: .6rem; }
+.hint { color: #607d8b; font-size: .85rem; }
+"""
+
+_EXPLORER_JS = """
+function drawPlot(canvas, data, highlight) {
+  const ctx = canvas.getContext('2d');
+  const W = canvas.width, H = canvas.height, pad = 30;
+  ctx.clearRect(0, 0, W, H);
+  const n = data.order.length || 1;
+  const maxH = Math.max(1, ...data.heights);
+  const bw = (W - pad - 10) / n;
+  for (let i = 0; i < n; i++) {
+    const h = data.heights[i] / maxH * (H - pad - 14);
+    const sel = highlight && highlight.has(data.order[i]);
+    ctx.fillStyle = sel ? '#c62828' : '#37474f';
+    ctx.fillRect(pad + i * bw, H - pad - h, Math.max(bw, 0.75), h);
+  }
+  ctx.strokeStyle = '#555';
+  ctx.beginPath();
+  ctx.moveTo(pad, 8); ctx.lineTo(pad, H - pad);
+  ctx.lineTo(W - 8, H - pad); ctx.stroke();
+  ctx.fillStyle = '#263238'; ctx.font = '11px sans-serif';
+  ctx.fillText(String(maxH), 4, 16);
+  ctx.fillText('0', 16, H - pad + 4);
+  ctx.fillText(data.title || '', pad + 6, 16);
+}
+
+function attachExplorer(canvasId, data, onSelect) {
+  const canvas = document.getElementById(canvasId);
+  const tooltip = document.getElementById('tooltip');
+  const pad = 30;
+  let dragStart = null;
+  drawPlot(canvas, data, null);
+
+  function indexAt(evt) {
+    const rect = canvas.getBoundingClientRect();
+    const x = evt.clientX - rect.left - pad;
+    const bw = (canvas.width - pad - 10) / Math.max(data.order.length, 1);
+    return Math.max(0, Math.min(data.order.length - 1, Math.floor(x / bw)));
+  }
+  canvas.addEventListener('mousemove', (evt) => {
+    const i = indexAt(evt);
+    tooltip.style.display = 'block';
+    tooltip.style.left = (evt.pageX + 12) + 'px';
+    tooltip.style.top = (evt.pageY - 10) + 'px';
+    tooltip.textContent =
+      data.order[i] + '  (co-clique size ' + data.heights[i] + ')';
+    if (dragStart !== null) {
+      const lo = Math.min(dragStart, i), hi = Math.max(dragStart, i);
+      const picked = new Set(data.order.slice(lo, hi + 1));
+      drawPlot(canvas, data, picked);
+    }
+  });
+  canvas.addEventListener('mouseleave', () => {
+    tooltip.style.display = 'none';
+  });
+  canvas.addEventListener('mousedown', (evt) => {
+    dragStart = indexAt(evt);
+  });
+  canvas.addEventListener('mouseup', (evt) => {
+    if (dragStart === null) return;
+    const i = indexAt(evt);
+    const lo = Math.min(dragStart, i), hi = Math.max(dragStart, i);
+    dragStart = null;
+    const members = data.order.slice(lo, hi + 1);
+    const heights = data.heights.slice(lo, hi + 1);
+    drawPlot(canvas, data, new Set(members));
+    onSelect(members, heights);
+  });
+  return { redraw: (highlight) => drawPlot(canvas, data, highlight) };
+}
+
+function describeSelection(members, heights) {
+  const peak = Math.max(...heights);
+  const dense = members.filter((m, i) => heights[i] >= peak - 1);
+  document.getElementById('selection').innerHTML =
+    '<b>' + members.length + ' vertices selected</b> (peak co-clique size ' +
+    peak + '): ' + dense.slice(0, 40).map(escapeHtml).join(', ') +
+    (dense.length > 40 ? ', …' : '');
+}
+
+function escapeHtml(s) {
+  return String(s).replace(/[&<>"]/g, (c) =>
+    ({'&': '&amp;', '<': '&lt;', '>': '&gt;', '"': '&quot;'}[c]));
+}
+"""
+
+
+def _plot_payload(plot: DensityPlot) -> dict:
+    return {
+        "title": plot.title,
+        "order": [str(v) for v in plot.order],
+        "heights": list(plot.heights),
+    }
+
+
+def explorer_html(plot: DensityPlot, *, title: str = "Density plot explorer") -> str:
+    """A single-plot interactive explorer as one HTML document."""
+    payload = json.dumps(_plot_payload(plot), separators=(",", ":"))
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"/>
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head><body>
+<h1>{html.escape(title)}</h1>
+<p class="hint">hover for vertex details; click-drag a plateau to list its
+members <button onclick="clearSelection()">clear</button></p>
+<div class="panel"><canvas id="plot" width="960" height="280"></canvas></div>
+<div id="tooltip"></div>
+<div id="selection" class="hint">nothing selected</div>
+<script>
+const PLOT_DATA = {payload};
+{_EXPLORER_JS}
+const view = attachExplorer('plot', PLOT_DATA, describeSelection);
+function clearSelection() {{
+  view.redraw(null);
+  document.getElementById('selection').textContent = 'nothing selected';
+}}
+</script>
+</body></html>
+"""
+
+
+def dual_view_explorer_html(
+    plots: DualViewPlots, *, title: str = "Dual view explorer"
+) -> str:
+    """The linked Algorithm 3 pair with live cross-view highlighting.
+
+    Drag-select a plateau in the *changed* view (bottom); the same vertices
+    highlight in the *before* view (top), wherever its ordering placed
+    them — the interactive version of the paper's Figure 8 markers.
+    """
+    before = json.dumps(_plot_payload(plots.before), separators=(",", ":"))
+    after = json.dumps(_plot_payload(plots.after), separators=(",", ":"))
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"/>
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style>
+</head><body>
+<h1>{html.escape(title)}</h1>
+<p class="hint">drag-select changed cliques in the bottom view; their
+vertices highlight above <button onclick="clearSelection()">clear</button></p>
+<div class="panel"><canvas id="before" width="960" height="250"></canvas></div>
+<div class="panel"><canvas id="after" width="960" height="250"></canvas></div>
+<div id="tooltip"></div>
+<div id="selection" class="hint">nothing selected</div>
+<script>
+const BEFORE_DATA = {before};
+const AFTER_DATA = {after};
+{_EXPLORER_JS}
+const beforeView = attachExplorer('before', BEFORE_DATA, describeSelection);
+const afterView = attachExplorer('after', AFTER_DATA, (members, heights) => {{
+  describeSelection(members, heights);
+  beforeView.redraw(new Set(members));
+}});
+function clearSelection() {{
+  beforeView.redraw(null);
+  afterView.redraw(null);
+  document.getElementById('selection').textContent = 'nothing selected';
+}}
+</script>
+</body></html>
+"""
+
+
+def save_explorer(document: str, path: str) -> None:
+    """Write an explorer document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)

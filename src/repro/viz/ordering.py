@@ -1,0 +1,98 @@
+"""OPTICS-style vertex enumeration for density plots.
+
+CSV (and this paper, §V) plots vertices along the x-axis in an order that
+keeps each dense region contiguous, the way OPTICS orders points by
+reachability.  We implement the graph analogue: a priority-first traversal
+that always extends the plot with the frontier vertex whose connection to
+the already-plotted region is densest (largest incident co-clique size /
+kappa), restarting at the densest unvisited vertex when a region is
+exhausted.
+
+The outcome is the paper's plot shape: every clique-like structure shows up
+as a flat plateau whose height is the clique's (approximate) size, and the
+plateaus appear one after another from the densest down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Mapping, Tuple
+
+from ..graph.edge import Edge, Vertex, canonical_edge
+from ..graph.undirected import Graph
+
+
+def vertex_scores(edge_scores: Mapping[Edge, int]) -> Dict[Vertex, int]:
+    """Per-vertex score: max score over incident edges.
+
+    CSV's convention — "the Y-axis value for each vertex is one of its
+    neighbor edges' co_clique_size value" — resolved to the maximum, which
+    is what makes clique plateaus flat at the clique size.
+    """
+    scores: Dict[Vertex, int] = {}
+    for (u, v), value in edge_scores.items():
+        if scores.get(u, -1) < value:
+            scores[u] = value
+        if scores.get(v, -1) < value:
+            scores[v] = value
+    return scores
+
+
+def optics_order(
+    graph: Graph,
+    edge_scores: Mapping[Edge, int],
+) -> Tuple[List[Vertex], List[int]]:
+    """Order vertices density-first; return (order, reachability heights).
+
+    The traversal keeps a max-heap of frontier vertices keyed by the best
+    edge score linking them to the visited set.  The returned heights are
+    the *reachability* values — the edge score through which each vertex was
+    reached (its own best score for region starters) — the closest analogue
+    of OPTICS reachability distance and the series the density plot draws.
+
+    Vertices with no edges are appended at the end with height 0.
+    """
+    scores = vertex_scores(edge_scores)
+    counter = itertools.count()  # tie-breaker keeps heap entries comparable
+    visited: set = set()
+    order: List[Vertex] = []
+    heights: List[int] = []
+
+    # Region starters: densest vertices first, deterministic tie-break.
+    starters = sorted(
+        (v for v in graph.vertices()),
+        key=lambda v: (-scores.get(v, 0), repr(v)),
+    )
+
+    frontier: List[tuple] = []
+
+    def push(vertex: Vertex, height: int) -> None:
+        heapq.heappush(frontier, (-height, next(counter), vertex))
+
+    for starter in starters:
+        if starter in visited:
+            continue
+        push(starter, scores.get(starter, 0))
+        while frontier:
+            negative_height, _, vertex = heapq.heappop(frontier)
+            if vertex in visited:
+                continue
+            visited.add(vertex)
+            order.append(vertex)
+            heights.append(-negative_height)
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in visited:
+                    continue
+                edge = canonical_edge(vertex, neighbor)
+                push(neighbor, edge_scores.get(edge, 0))
+    return order, heights
+
+
+def order_positions(order: List[Vertex]) -> Dict[Vertex, int]:
+    """``{vertex: x position}`` for locating vertices across plots.
+
+    Dual View Plots use this to place the *same* community's vertices in
+    both views (the paper's cognitive-correspondence markers).
+    """
+    return {vertex: index for index, vertex in enumerate(order)}

@@ -1,0 +1,216 @@
+"""Dependency-free SVG rendering of density plots.
+
+Produces standalone ``.svg`` files for the paper's figures: single density
+plots (Fig 6, 9-12) and linked dual-view panels (Fig 8).  Pure string
+assembly — no third-party plotting stack is available in the reproduction
+environment, and SVG keeps the output inspectable and diff-able.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence
+
+from .density_plot import DensityPlot, Marker
+from .dual_view import DualViewPlots
+
+# A small colorblind-safe palette for marker shapes.
+PALETTE = ("#2e7d32", "#c62828", "#ef6c00", "#1565c0", "#6a1b9a")
+
+
+def _escape(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _marker_svg(
+    marker: Marker,
+    color: str,
+    plot: DensityPlot,
+    x_of,
+    y_of,
+) -> str:
+    """Draw one marker as an outline spanning its vertices' x-range."""
+    positions = plot.positions()
+    xs = sorted(positions[v] for v in marker.vertices if v in positions)
+    if not xs:
+        return ""
+    heights = [plot.heights[x] for x in xs]
+    x0, x1 = x_of(xs[0]) - 4, x_of(xs[-1]) + 4
+    top = y_of(max(heights)) - 6
+    bottom = y_of(0) + 2
+    label = (
+        f'<text x="{x0}" y="{top - 4}" font-size="10" fill="{color}">'
+        f"{_escape(marker.label)}</text>"
+        if marker.label
+        else ""
+    )
+    cx, cy = (x0 + x1) / 2, (top + bottom) / 2
+    rx, ry = max((x1 - x0) / 2, 6), max((bottom - top) / 2, 6)
+    style = f'fill="none" stroke="{color}" stroke-width="1.5"'
+    if marker.shape == "rect":
+        shape = f'<rect x="{x0}" y="{top}" width="{x1 - x0}" height="{bottom - top}" {style}/>'
+    elif marker.shape == "triangle":
+        shape = (
+            f'<polygon points="{cx},{top} {x0},{bottom} {x1},{bottom}" {style}/>'
+        )
+    elif marker.shape == "ellipse":
+        shape = f'<ellipse cx="{cx}" cy="{cy}" rx="{rx}" ry="{ry}" {style}/>'
+    else:  # circle
+        r = max(rx, ry)
+        shape = f'<circle cx="{cx}" cy="{cy}" r="{r}" {style}/>'
+    return shape + label
+
+
+def density_plot_svg(
+    plot: DensityPlot,
+    *,
+    width: int = 900,
+    height: int = 260,
+    bar_color: str = "#37474f",
+) -> str:
+    """Render one density plot to a standalone SVG string."""
+    margin_left, margin_bottom, margin_top = 46, 28, 26
+    inner_w = width - margin_left - 10
+    inner_h = height - margin_bottom - margin_top
+    n = max(len(plot.order), 1)
+    max_h = max(plot.max_height, 1)
+
+    def x_of(index: int) -> float:
+        return margin_left + index / n * inner_w
+
+    def y_of(value: float) -> float:
+        return margin_top + inner_h - value / max_h * inner_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if plot.title:
+        parts.append(
+            f'<text x="{margin_left}" y="16" font-size="13" '
+            f'font-family="sans-serif">{_escape(plot.title)}</text>'
+        )
+    # Axes.
+    parts.append(
+        f'<line x1="{margin_left}" y1="{y_of(0)}" x2="{width - 10}" '
+        f'y2="{y_of(0)}" stroke="#555"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{y_of(0)}" stroke="#555"/>'
+    )
+    for tick in range(0, max_h + 1, max(1, max_h // 5)):
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y_of(tick) + 4}" font-size="9" '
+            f'text-anchor="end" font-family="sans-serif">{tick}</text>'
+        )
+    # Height bars (as a step polyline + fill for plateau visibility).
+    if plot.heights:
+        bar_w = max(inner_w / n, 0.5)
+        for index, value in enumerate(plot.heights):
+            if value <= 0:
+                continue
+            parts.append(
+                f'<rect x="{x_of(index):.2f}" y="{y_of(value):.2f}" '
+                f'width="{bar_w:.2f}" height="{(y_of(0) - y_of(value)):.2f}" '
+                f'fill="{bar_color}"/>'
+            )
+    for index, marker in enumerate(plot.markers):
+        parts.append(
+            _marker_svg(marker, PALETTE[index % len(PALETTE)], plot, x_of, y_of)
+        )
+    parts.append(
+        f'<text x="{width - 12}" y="{height - 8}" font-size="10" '
+        f'text-anchor="end" font-family="sans-serif">'
+        f"{len(plot.order)} vertices</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def dual_view_svg(plots: DualViewPlots, *, width: int = 900) -> str:
+    """Render a linked dual-view pair (plot(a) above plot(b)) as one SVG."""
+    panel_height = 250
+    total_height = panel_height * 2 + 16
+    top = density_plot_svg(plots.before, width=width, height=panel_height)
+    bottom = density_plot_svg(plots.after, width=width, height=panel_height)
+    # Strip the outer <svg> wrappers and restack.
+    top_body = top.split("\n", 2)[2].rsplit("</svg>", 1)[0]
+    bottom_body = bottom.split("\n", 2)[2].rsplit("</svg>", 1)[0]
+    return "\n".join(
+        [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{total_height}" viewBox="0 0 {width} {total_height}">',
+            f'<rect width="{width}" height="{total_height}" fill="white"/>',
+            "<g>",
+            top_body,
+            "</g>",
+            f'<g transform="translate(0,{panel_height + 16})">',
+            bottom_body,
+            "</g>",
+            "</svg>",
+        ]
+    )
+
+
+def save_svg(svg: str, path: str) -> None:
+    """Write an SVG string to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+
+
+def graph_drawing_svg(
+    graph,
+    *,
+    width: int = 500,
+    height: int = 500,
+    highlight_edges: Optional[Sequence] = None,
+    vertex_colors: Optional[dict] = None,
+) -> str:
+    """Draw a small graph (circular layout) — used for clique close-ups.
+
+    The paper's Figures 7/8(c-e)/12(b) zoom into individual cliques; for
+    graphs of a few dozen vertices a circular layout with highlighted edges
+    is sufficient and keeps us dependency-free.
+    """
+    import math
+
+    from ..graph.edge import canonical_edge
+
+    vertices = sorted(graph.vertices(), key=repr)
+    n = max(len(vertices), 1)
+    cx, cy = width / 2, height / 2
+    radius = min(width, height) / 2 - 50
+    pos = {
+        v: (
+            cx + radius * math.cos(2 * math.pi * i / n - math.pi / 2),
+            cy + radius * math.sin(2 * math.pi * i / n - math.pi / 2),
+        )
+        for i, v in enumerate(vertices)
+    }
+    highlighted = {canonical_edge(u, v) for u, v in (highlight_edges or [])}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for u, v in graph.edges():
+        x1, y1 = pos[u]
+        x2, y2 = pos[v]
+        color = "#c62828" if canonical_edge(u, v) in highlighted else "#90a4ae"
+        w = 2.0 if canonical_edge(u, v) in highlighted else 1.0
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{w}"/>'
+        )
+    for v in vertices:
+        x, y = pos[v]
+        fill = (vertex_colors or {}).get(v, "#37474f")
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="5" fill="{fill}"/>')
+        parts.append(
+            f'<text x="{x:.1f}" y="{y - 8:.1f}" font-size="9" '
+            f'text-anchor="middle" font-family="sans-serif">{_escape(v)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

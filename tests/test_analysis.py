@@ -1,0 +1,167 @@
+"""Tests for the analysis package (peaks, cliques, events, stats)."""
+
+import pytest
+
+from repro.analysis import (
+    approximation_quality,
+    clique_report,
+    degree_histogram,
+    densest_event,
+    detect_events,
+    find_plateaus,
+    graph_stats,
+    kappa_summary,
+    largest_clique_in,
+    plateau_profile,
+    top_plateaus,
+)
+from repro.core import triangle_kcore_decomposition
+from repro.graph import Graph, SnapshotStream, complete_graph, planted_cliques
+from repro.viz import DensityPlot, density_plot
+
+
+class TestPlateaus:
+    def test_planted_cliques_become_plateaus(self):
+        planted = planted_cliques(100, [10, 7], background_p=0.01, seed=6)
+        result = triangle_kcore_decomposition(planted.graph)
+        plot = density_plot(planted.graph, result)
+        plateaus = find_plateaus(plot, min_height=4)
+        assert plateaus[0].height == 10
+        assert set(planted.cliques[0].vertices) <= set(plateaus[0].vertices)
+        heights = [p.height for p in plateaus]
+        assert 7 in heights
+
+    def test_min_width_filters_spikes(self):
+        plot = DensityPlot(order=list(range(6)), heights=[9, 0, 0, 5, 5, 5])
+        plateaus = find_plateaus(plot, min_height=3, min_width=3)
+        assert len(plateaus) == 1
+        assert plateaus[0].height == 5
+
+    def test_tolerance_absorbs_quasi_clique_dips(self):
+        plot = DensityPlot(
+            order=list(range(6)), heights=[8, 8, 7, 8, 8, 8]
+        )
+        plateaus = find_plateaus(plot, min_height=3, tolerance=1)
+        assert len(plateaus) == 1
+        assert plateaus[0].width == 6
+
+    def test_top_plateaus_limit(self):
+        plot = DensityPlot(
+            order=list(range(9)),
+            heights=[5, 5, 5, 0, 4, 4, 4, 0, 0],
+        )
+        assert len(top_plateaus(plot, 1, min_height=3)) == 1
+
+    def test_profile(self):
+        plot = DensityPlot(
+            order=list(range(7)), heights=[5, 5, 5, 0, 4, 4, 4]
+        )
+        assert plateau_profile(plot, min_height=3) == [(5, 3), (4, 3)]
+
+    def test_empty_plot(self):
+        assert find_plateaus(DensityPlot(order=[], heights=[])) == []
+
+
+class TestCliqueReports:
+    def test_exact_clique(self, k5):
+        report = clique_report(k5, [0, 1, 2, 3, 4])
+        assert report.is_clique
+        assert report.density == 1.0
+
+    def test_missing_edges_reported(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        report = clique_report(g, [0, 1, 2, 3])
+        assert report.missing_edges == ((0, 1),)
+        assert report.density == pytest.approx(5 / 6)
+
+    def test_duplicates_collapsed(self, k5):
+        report = clique_report(k5, [0, 0, 1])
+        assert report.vertices == (0, 1)
+
+    def test_single_vertex_is_trivially_clique(self, k5):
+        assert clique_report(k5, [0]).is_clique
+
+    def test_largest_clique_in_region(self):
+        g = complete_graph(5)
+        g.add_edge(0, 99)
+        assert len(largest_clique_in(g, [0, 1, 2, 3, 4, 99])) == 5
+
+    def test_approximation_quality(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        quality = approximation_quality(g, [0, 1, 2, 3], claimed_size=4)
+        assert quality == pytest.approx(3 / 4)
+        assert approximation_quality(g, [0], claimed_size=0) == 1.0
+
+
+class TestEvents:
+    @pytest.fixture
+    def stream(self):
+        def clique_edges(members):
+            return [
+                (u, v) for i, u in enumerate(members) for v in members[i + 1 :]
+            ]
+
+        g0 = Graph(edges=clique_edges("XYZ"), vertices="ABCDE")
+        g1 = g0.copy()
+        for u, v in clique_edges("ABCDE"):
+            g1.add_edge(u, v)
+        return SnapshotStream([g0, g1])
+
+    def test_detects_new_form_event(self, stream):
+        events = detect_events(stream)
+        new_forms = [e for e in events if e.pattern == "New Form Clique"]
+        assert new_forms
+        best = new_forms[0]
+        assert set(best.vertices) == set("ABCDE")
+        assert best.clique_size_estimate == 5
+        assert best.step == 1
+
+    def test_densest_event_lookup(self, stream):
+        events = detect_events(stream)
+        best = densest_event(events, "New Form Clique")
+        assert best.kappa == 3
+
+    def test_densest_event_missing_pattern(self, stream):
+        events = detect_events(stream)
+        with pytest.raises(ValueError):
+            densest_event(events, "No Such Pattern")
+
+    def test_max_events_per_step_limits(self, stream):
+        events = detect_events(stream, max_events_per_step=1)
+        by_pattern_step = {}
+        for event in events:
+            key = (event.step, event.pattern)
+            by_pattern_step[key] = by_pattern_step.get(key, 0) + 1
+        assert all(count <= 1 for count in by_pattern_step.values())
+
+
+class TestStats:
+    def test_graph_stats_on_clique(self, k5):
+        stats = graph_stats(k5)
+        assert stats.vertices == 5
+        assert stats.edges == 10
+        assert stats.triangles == 10
+        assert stats.max_degree == 4
+        assert stats.transitivity == pytest.approx(1.0)
+        assert stats.degeneracy == 4
+        assert "|V|=5" in stats.as_row()
+
+    def test_graph_stats_empty(self):
+        stats = graph_stats(Graph())
+        assert stats.vertices == 0
+        assert stats.mean_degree == 0.0
+
+    def test_kappa_summary(self, k5):
+        summary = kappa_summary(triangle_kcore_decomposition(k5))
+        assert summary["max"] == 3
+        assert summary["nonzero_fraction"] == 1.0
+
+    def test_kappa_summary_empty(self):
+        summary = kappa_summary(triangle_kcore_decomposition(Graph()))
+        assert summary["edges"] == 0
+
+    def test_degree_histogram(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert degree_histogram(g) == {1: 2, 2: 1}

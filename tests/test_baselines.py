@@ -1,0 +1,189 @@
+"""Tests for the CSV, DN-Graph, recompute and networkx baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CSVBaseline,
+    RecomputeBaseline,
+    bitridn,
+    csv_co_clique_sizes,
+    greedy_clique,
+    is_valid_lambda,
+    max_clique,
+    networkx_kappa,
+    networkx_truss_numbers,
+    timed_recompute,
+    tridn,
+)
+from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+from repro.graph import Graph, complete_graph, erdos_renyi, planted_cliques
+
+
+class TestMaxClique:
+    def test_clique(self):
+        assert len(max_clique(complete_graph(6))) == 6
+
+    def test_empty(self):
+        assert max_clique(Graph()) == set()
+
+    def test_triangle_free(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert len(max_clique(g)) == 2
+
+    def test_planted_clique_found(self):
+        planted = planted_cliques(40, [7], background_p=0.05, seed=2)
+        clique = max_clique(planted.graph)
+        assert set(planted.cliques[0].vertices) <= clique or len(clique) >= 7
+
+    def test_budget_fallback_still_returns_clique(self):
+        g = erdos_renyi(40, 0.4, seed=3)
+        clique = max_clique(g, node_budget=5)
+        for i, u in enumerate(sorted(clique, key=repr)):
+            for v in sorted(clique, key=repr)[i + 1 :]:
+                assert g.has_edge(u, v)
+
+
+class TestGreedyClique:
+    def test_returns_a_clique(self):
+        g = erdos_renyi(30, 0.4, seed=4)
+        clique = sorted(greedy_clique(g), key=repr)
+        for i, u in enumerate(clique):
+            for v in clique[i + 1 :]:
+                assert g.has_edge(u, v)
+
+    def test_finds_whole_clique_in_clique(self):
+        assert len(greedy_clique(complete_graph(5))) == 5
+
+
+class TestCSVBaseline:
+    def test_clique_co_clique_sizes(self):
+        sizes = csv_co_clique_sizes(complete_graph(7))
+        assert set(sizes.values()) == {7}
+
+    def test_edge_without_triangles(self):
+        g = Graph(edges=[(0, 1)])
+        assert csv_co_clique_sizes(g) == {(0, 1): 2}
+
+    def test_estimate_mode_lower_or_equal_exact(self):
+        g = erdos_renyi(25, 0.35, seed=5)
+        exact = CSVBaseline(mode="exact").co_clique_sizes(g)
+        estimate = CSVBaseline(mode="estimate").co_clique_sizes(g)
+        assert all(estimate[e] <= exact[e] for e in exact)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CSVBaseline(mode="bogus")
+
+    def test_csv_upper_bounds_triangle_kcore(self):
+        """co_clique_size from CSV >= kappa + 2 (a clique of size k+2 is a
+        (k)-Triangle K-Core, and CSV measures the true clique)... actually
+        the bound runs the other way: kappa + 2 >= true max clique size,
+        so CSV exact <= kappa + 2."""
+        g = erdos_renyi(30, 0.3, seed=6)
+        result = triangle_kcore_decomposition(g)
+        csv = csv_co_clique_sizes(g)
+        for edge, size in csv.items():
+            assert size <= result.kappa[edge] + 2, edge
+
+
+class TestDNGraph:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_both_variants_converge_to_kappa(self, seed):
+        g = erdos_renyi(35, 0.25, seed=seed)
+        kappa = triangle_kcore_decomposition(g).kappa
+        assert tridn(g).lambda_ == kappa
+        assert bitridn(g).lambda_ == kappa
+
+    def test_bitridn_uses_fewer_or_equal_updates(self):
+        g = erdos_renyi(40, 0.3, seed=9)
+        t = tridn(g)
+        b = bitridn(g)
+        assert b.updates <= t.updates
+
+    def test_valid_lambda_check(self, k5):
+        kappa = triangle_kcore_decomposition(k5).kappa
+        assert is_valid_lambda(k5, kappa)
+        inflated = {edge: value + 1 for edge, value in kappa.items()}
+        assert not is_valid_lambda(k5, inflated)
+
+    def test_iteration_counts_positive(self, k5):
+        assert tridn(k5).iterations >= 1
+        assert bitridn(k5).iterations >= 1
+
+
+class TestNetworkxCrossCheck:
+    def test_truss_numbers_offset(self, k5):
+        truss = networkx_truss_numbers(k5)
+        assert set(truss.values()) == {5}
+        assert networkx_kappa(k5) == {e: 3 for e in k5.edges()}
+
+    def test_agreement_on_random_graph(self):
+        g = erdos_renyi(40, 0.3, seed=10)
+        assert networkx_kappa(g) == triangle_kcore_decomposition(g).kappa
+
+
+class TestRecomputeBaseline:
+    def test_tracks_graph_like_dynamic(self):
+        g = erdos_renyi(25, 0.25, seed=11)
+        baseline = RecomputeBaseline(g)
+        dynamic = DynamicTriangleKCore(g)
+        for u, v in [(0, 20), (1, 21), (2, 22)]:
+            if not g.has_edge(u, v):
+                baseline.add_edge(u, v)
+                dynamic.add_edge(u, v)
+        assert baseline.kappa == dynamic.kappa
+
+    def test_apply_batch(self):
+        g = erdos_renyi(25, 0.25, seed=12)
+        baseline = RecomputeBaseline(g)
+        removed = list(g.edges())[:3]
+        run = baseline.apply(removed=removed)
+        assert run.seconds >= 0
+        assert baseline.kappa == triangle_kcore_decomposition(baseline.graph).kappa
+
+    def test_timed_recompute(self, k5):
+        run = timed_recompute(k5)
+        assert run.seconds >= 0
+        assert run.result.max_kappa == 3
+
+    def test_copy_semantics(self):
+        g = complete_graph(4)
+        baseline = RecomputeBaseline(g)
+        baseline.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+
+class TestMaximalCliqueEnumeration:
+    def test_enumerates_all_maximal_cliques_of_clique(self):
+        from repro.baselines.csv_baseline import enumerate_maximal_cliques
+
+        cliques = enumerate_maximal_cliques(complete_graph(5))
+        assert len(cliques) == 1
+        assert cliques[0] == set(range(5))
+
+    def test_bowtie_has_two_maximal_triangles(self):
+        from repro.baselines.csv_baseline import enumerate_maximal_cliques
+
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        cliques = sorted(enumerate_maximal_cliques(g), key=sorted)
+        assert {0, 1, 2} in cliques
+        assert {2, 3, 4} in cliques
+
+    def test_matches_networkx_enumeration(self):
+        import networkx as nx
+
+        from repro.baselines.csv_baseline import enumerate_maximal_cliques
+        from repro.graph.convert import to_networkx
+
+        g = erdos_renyi(20, 0.35, seed=13)
+        ours = {frozenset(c) for c in enumerate_maximal_cliques(g)}
+        theirs = {frozenset(c) for c in nx.find_cliques(to_networkx(g))}
+        assert ours == theirs
+
+    def test_budget_truncates_gracefully(self):
+        from repro.baselines.csv_baseline import enumerate_maximal_cliques
+
+        g = erdos_renyi(25, 0.5, seed=14)
+        some = enumerate_maximal_cliques(g, node_budget=10)
+        full = enumerate_maximal_cliques(g)
+        assert len(some) <= len(full)

@@ -1,0 +1,102 @@
+"""Unit tests for the bucket queue."""
+
+import pytest
+
+from repro.core import BucketQueue
+
+
+class TestBasics:
+    def test_build_and_pop_order(self):
+        q = BucketQueue({"a": 2, "b": 0, "c": 1})
+        assert q.pop_min() == ("b", 0)
+        assert q.pop_min() == ("c", 1)
+        assert q.pop_min() == ("a", 2)
+
+    def test_len_and_contains(self):
+        q = BucketQueue({"a": 1})
+        assert len(q) == 1
+        assert "a" in q
+        q.pop_min()
+        assert len(q) == 0
+        assert "a" not in q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketQueue({}).pop_min()
+
+    def test_peek_min(self):
+        q = BucketQueue({"a": 3, "b": 5})
+        assert q.peek_min_priority() == 3
+        q.pop_min()
+        assert q.peek_min_priority() == 5
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketQueue({}).peek_min_priority()
+
+
+class TestMutation:
+    def test_decrement(self):
+        q = BucketQueue({"a": 5})
+        assert q.decrement("a") == 4
+        assert q.priority("a") == 4
+
+    def test_decrement_below_floor_still_pops_correctly(self):
+        q = BucketQueue({"a": 5, "b": 3})
+        q.pop_min()  # floor moves to 3... pops b
+        q.set_priority("a", 1)
+        assert q.pop_min() == ("a", 1)
+
+    def test_set_priority_same_value_noop(self):
+        q = BucketQueue({"a": 2})
+        q.set_priority("a", 2)
+        assert q.pop_min() == ("a", 2)
+
+    def test_negative_priority_rejected(self):
+        q = BucketQueue({"a": 0})
+        with pytest.raises(ValueError):
+            q.set_priority("a", -1)
+        with pytest.raises(ValueError):
+            q.insert("b", -2)
+
+    def test_double_insert_rejected(self):
+        q = BucketQueue({"a": 1})
+        with pytest.raises(ValueError):
+            q.insert("a", 2)
+
+    def test_remove(self):
+        q = BucketQueue({"a": 1, "b": 2})
+        assert q.remove("a") == 1
+        assert "a" not in q
+        assert q.pop_min() == ("b", 2)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            BucketQueue({}).remove("x")
+
+    def test_keys(self):
+        q = BucketQueue({"a": 1, "b": 2})
+        assert set(q.keys()) == {"a", "b"}
+
+
+class TestPeelingPattern:
+    def test_monotone_peel_matches_sorted_order(self):
+        """Simulate the peeling access pattern Algorithm 1 uses."""
+        priorities = {f"e{i}": (i * 7) % 13 for i in range(50)}
+        q = BucketQueue(priorities)
+        drained = []
+        while len(q):
+            key, priority = q.pop_min()
+            drained.append(priority)
+        assert drained == sorted(priorities.values())
+
+    def test_interleaved_decrements_never_break_min_order(self):
+        q = BucketQueue({f"e{i}": 10 for i in range(10)})
+        floors = []
+        while len(q):
+            key, priority = q.pop_min()
+            floors.append(priority)
+            for other in list(q.keys()):
+                if q.priority(other) > priority:
+                    q.decrement(other)
+        assert floors == sorted(floors)

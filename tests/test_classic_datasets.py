@@ -1,0 +1,111 @@
+"""Real-data anchor tests: Zachary karate, Les Miserables, Davis women.
+
+These are genuine datasets (bundled with networkx), so the assertions pin
+the library against ground truth nothing in this repository generated.
+"""
+
+import pytest
+
+from repro.baselines import networkx_kappa, tridn
+from repro.core import (
+    CommunityIndex,
+    DynamicTriangleKCore,
+    max_triangle_kcore,
+    triangle_kcore_decomposition,
+)
+from repro.datasets import load
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return load("karate")
+
+
+@pytest.fixture(scope="module")
+def lesmis():
+    return load("lesmis")
+
+
+@pytest.fixture(scope="module")
+def davis():
+    return load("davis")
+
+
+class TestKarate:
+    def test_size(self, karate):
+        assert karate.num_vertices == 34
+        assert karate.num_edges == 78
+
+    def test_max_kappa_is_three(self, karate):
+        """The karate club's densest motif is a 5-clique (kappa 3) around
+        the two leaders' inner circles."""
+        result = triangle_kcore_decomposition(karate.graph)
+        assert result.max_kappa == 3
+
+    def test_leaders_in_densest_communities(self, karate):
+        index = CommunityIndex(karate.graph)
+        level, members = index.densest_community_of_vertex(0)  # Mr. Hi
+        assert level == 3
+        assert 0 in members
+
+    def test_matches_networkx_truss(self, karate):
+        assert networkx_kappa(karate.graph) == (
+            triangle_kcore_decomposition(karate.graph).kappa
+        )
+
+    def test_dynamic_roundtrip(self, karate):
+        maintainer = DynamicTriangleKCore(karate.graph)
+        maintainer.remove_edge(0, 1)
+        maintainer.add_edge(0, 1)
+        assert maintainer.kappa == (
+            triangle_kcore_decomposition(karate.graph).kappa
+        )
+
+    def test_faction_labels_present(self, karate):
+        assert set(karate.vertex_groups.values()) == {"Mr. Hi", "Officer"}
+
+
+class TestLesMis:
+    def test_size(self, lesmis):
+        assert lesmis.num_vertices == 77
+        assert lesmis.num_edges == 254
+
+    def test_dense_ensemble_cast(self, lesmis):
+        """The barricade ensemble (Les Amis de l'ABC plus Marius, Gavroche
+        and Mabeuf) forms the densest structure: a 12-vertex region at
+        kappa 8, i.e. approximately a 10-clique."""
+        k, sub = max_triangle_kcore(lesmis.graph)
+        assert k == 8
+        members = set(sub.vertices())
+        assert {"Enjolras", "Courfeyrac", "Combeferre", "Marius",
+                "Gavroche"} <= members
+        assert sub.num_vertices == 12
+
+    def test_tridn_agrees(self, lesmis):
+        kappa = triangle_kcore_decomposition(lesmis.graph).kappa
+        assert tridn(lesmis.graph).lambda_ == kappa
+
+
+class TestDavisTriangleFree:
+    def test_bipartite_means_zero_kappa(self, davis):
+        result = triangle_kcore_decomposition(davis.graph)
+        assert set(result.kappa.values()) == {0}
+        assert result.max_kappa == 0
+
+    def test_flat_density_plot(self, davis):
+        from repro.viz import density_plot
+
+        result = triangle_kcore_decomposition(davis.graph)
+        plot = density_plot(davis.graph, result)
+        assert plot.max_height == 2  # bare edges only
+
+    def test_dynamic_updates_on_triangle_free_graph(self, davis):
+        maintainer = DynamicTriangleKCore(davis.graph)
+        edges = sorted(davis.graph.edges(), key=repr)[:5]
+        for u, v in edges:
+            maintainer.remove_edge(u, v)
+        for u, v in edges:
+            maintainer.add_edge(u, v)
+        assert maintainer.kappa == (
+            triangle_kcore_decomposition(davis.graph).kappa
+        )

@@ -1,0 +1,194 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Graph, write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+    path = tmp_path / "g.edges"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("decompose", "plot", "update", "templates", "datasets"):
+            args = parser.parse_args(
+                [command] + {
+                    "decompose": ["synthetic"],
+                    "plot": ["synthetic"],
+                    "update": ["synthetic"],
+                    "templates": ["a", "b"],
+                    "datasets": [],
+                }[command]
+            )
+            assert args.command == command
+
+
+class TestDecompose:
+    def test_on_edge_file(self, edge_file, capsys):
+        assert main(["decompose", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "max kappa = 1" in out
+        assert "|E|=6" in out
+
+    def test_writes_output(self, edge_file, tmp_path, capsys):
+        out_path = tmp_path / "kappa.txt"
+        assert main(["decompose", edge_file, "-o", str(out_path)]) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 6
+        assert all(len(line.split()) == 3 for line in lines)
+
+    def test_on_dataset_name(self, capsys):
+        assert main(["decompose", "synthetic"]) == 0
+        assert "kappa histogram" in capsys.readouterr().out
+
+
+class TestPlot:
+    def test_ascii(self, edge_file, capsys):
+        assert main(["plot", edge_file, "--height", "5", "--width", "40"]) == 0
+        assert "+" in capsys.readouterr().out
+
+    def test_svg(self, edge_file, tmp_path, capsys):
+        svg_path = tmp_path / "out.svg"
+        assert main(["plot", edge_file, "--svg", str(svg_path)]) == 0
+        assert svg_path.read_text().startswith("<svg")
+
+
+class TestUpdate:
+    def test_update_agrees_and_reports(self, capsys):
+        assert main(["update", "synthetic", "--fraction", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental update" in out
+        assert "recompute" in out
+
+
+class TestTemplates:
+    def test_new_form_between_files(self, tmp_path, capsys):
+        # A star keeps all five vertices present in the edge-list file (the
+        # format cannot represent isolated vertices).
+        old = Graph(edges=[(v, 9) for v in range(5)])
+        new = old.copy()
+        for u in range(5):
+            for v in range(u + 1, 5):
+                new.add_edge(u, v)
+        old_path, new_path = tmp_path / "old.edges", tmp_path / "new.edges"
+        write_edge_list(old, old_path)
+        write_edge_list(new, new_path)
+        assert main(
+            ["templates", str(old_path), str(new_path), "--pattern", "new_form"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "New Form Clique" in out
+        assert "~5-vertex" in out
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("synthetic", "stocks", "ppi", "dblp", "livejournal"):
+            assert name in out
+
+
+class TestCommunities:
+    def test_level_listing(self, edge_file, capsys):
+        assert main(["communities", edge_file, "--level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "triangle-connected communities" in out
+
+    def test_vertex_query(self, edge_file, capsys):
+        assert main(["communities", edge_file, "--vertex", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "densest community" in out
+
+
+class TestReport:
+    def test_writes_html(self, edge_file, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        assert main(["report", edge_file, "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+
+
+class TestEvents:
+    def test_snapshot_files(self, tmp_path, capsys):
+        before = Graph(edges=[(u, v) for u in range(6) for v in range(u + 1, 6)])
+        after = Graph(
+            edges=[(u, v) for u in range(9) for v in range(u + 1, 9)]
+        )
+        p1, p2 = tmp_path / "a.edges", tmp_path / "b.edges"
+        write_edge_list(before, p1)
+        write_edge_list(after, p2)
+        assert main(["events", str(p1), str(p2)]) == 0
+        out = capsys.readouterr().out
+        assert "grow" in out
+
+    def test_builtin_dataset(self, capsys):
+        assert main(
+            ["events", "--dataset", "wiki_snapshots", "--min-kappa", "4"]
+        ) == 0
+        assert "merge" in capsys.readouterr().out
+
+    def test_dataset_without_snapshots(self, capsys):
+        assert main(["events", "--dataset", "synthetic"]) == 1
+        assert "no snapshots" in capsys.readouterr().out
+
+    def test_decompose_json_output(self, edge_file, tmp_path, capsys):
+        out_path = tmp_path / "kappa.json"
+        assert main(["decompose", edge_file, "-o", str(out_path)]) == 0
+        from repro.core import load_result
+
+        result = load_result(out_path)
+        assert len(result.kappa) == 6
+
+
+class TestNewSubcommands:
+    def test_hierarchy(self, edge_file, capsys):
+        assert main(["hierarchy", edge_file]) == 0
+        assert "level" in capsys.readouterr().out
+
+    def test_maxcore(self, edge_file, capsys):
+        assert main(["maxcore", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "densest Triangle K-Core" in out
+        assert "kappa 1" in out
+
+    def test_probe_exact(self, edge_file, capsys):
+        assert main(["probe", edge_file, "0", "1", "--radius", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_probe_string_vertices(self, tmp_path, capsys):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        path = tmp_path / "s.edges"
+        write_edge_list(g, path)
+        assert main(["probe", str(path), "a", "b"]) == 0
+        assert "[1, 1]" in capsys.readouterr().out
+
+    def test_missing_file_friendly_error(self, capsys):
+        assert main(["decompose", "/no/such/file.edges"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_library_error_friendly(self, edge_file, capsys):
+        # Probe a non-existent edge -> EdgeNotFoundError -> exit 2.
+        assert main(["probe", edge_file, "0", "99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_robustness_subcommand(self, capsys):
+        assert main(
+            ["robustness", "synthetic", "--fractions", "0.1", "--trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline densest core" in out
+        assert "breakdown" in out

@@ -1,0 +1,123 @@
+"""Tests for triangle-connected community search (index and one-shot)."""
+
+import pytest
+
+from repro.core import (
+    CommunityIndex,
+    community_of_edge,
+    community_of_vertex,
+    triangle_connected_components,
+    triangle_kcore_decomposition,
+)
+from repro.exceptions import EdgeNotFoundError, VertexNotFoundError
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+@pytest.fixture
+def butterfly():
+    """Two K4s sharing vertex 3."""
+    g = complete_graph(4)
+    for u in (10, 11, 12):
+        g.add_edge(3, u)
+    for i, u in enumerate((10, 11, 12)):
+        for v in (10, 11, 12)[i + 1 :]:
+            g.add_edge(u, v)
+    return g
+
+
+class TestCommunityIndex:
+    def test_edge_community_defaults_to_own_level(self, butterfly):
+        index = CommunityIndex(butterfly)
+        community = index.community_of_edge(0, 1)
+        assert len(community) == 6  # the first K4
+
+    def test_edge_community_at_lower_level_merges(self, butterfly):
+        index = CommunityIndex(butterfly)
+        # At level 1 both K4s stay triangle-connected only through shared
+        # triangles; sharing a vertex is not enough, so still 2 communities.
+        assert len(index.communities_at(1)) == 2
+
+    def test_unknown_edge_raises(self, butterfly):
+        index = CommunityIndex(butterfly)
+        with pytest.raises(EdgeNotFoundError):
+            index.community_of_edge(0, 99)
+
+    def test_level_above_edge_kappa_is_empty(self, butterfly):
+        index = CommunityIndex(butterfly)
+        assert index.community_of_edge(0, 1, k=5) == set()
+
+    def test_level_zero_is_empty(self, butterfly):
+        index = CommunityIndex(butterfly)
+        assert index.community_of_edge(0, 1, k=0) == set()
+
+    def test_vertex_in_two_communities(self, butterfly):
+        index = CommunityIndex(butterfly)
+        communities = index.community_of_vertex(3)
+        assert len(communities) == 2
+        assert {0, 1, 2, 3} in communities
+        assert {3, 10, 11, 12} in communities
+
+    def test_unknown_vertex_raises(self, butterfly):
+        with pytest.raises(VertexNotFoundError):
+            CommunityIndex(butterfly).community_of_vertex("ghost")
+
+    def test_densest_community_of_isolated_vertex(self):
+        g = Graph(edges=[(0, 1)], vertices=[9])
+        index = CommunityIndex(g)
+        assert index.densest_community_of_vertex(9) == (0, {9})
+
+    def test_densest_community_prefers_larger(self, butterfly):
+        index = CommunityIndex(butterfly)
+        level, members = index.densest_community_of_vertex(3)
+        assert level == 2
+        assert len(members) == 4
+
+    def test_iteration_densest_first(self, butterfly):
+        index = CommunityIndex(butterfly)
+        levels = [k for k, _ in index]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_matches_bfs_components_on_random_graphs(self):
+        for seed in range(3):
+            g = erdos_renyi(35, 0.25, seed=seed)
+            result = triangle_kcore_decomposition(g)
+            index = CommunityIndex(g, result)
+            for k in range(1, result.max_kappa + 1):
+                from_bfs = {
+                    frozenset(c)
+                    for c in triangle_connected_components(g, result, k)
+                }
+                from_index = {frozenset(c) for c in index.communities_at(k)}
+                assert from_bfs == from_index, (seed, k)
+
+    def test_out_of_range_levels(self, k5):
+        index = CommunityIndex(k5)
+        assert index.communities_at(0) == []
+        assert index.communities_at(99) == []
+
+
+class TestOneShotSearch:
+    def test_edge_query_matches_index(self, butterfly):
+        index = CommunityIndex(butterfly)
+        assert community_of_edge(butterfly, 0, 1) == index.community_of_edge(0, 1)
+
+    def test_vertex_query_matches_index(self, butterfly):
+        index = CommunityIndex(butterfly)
+        assert community_of_vertex(butterfly, 3) == index.community_of_vertex(3)
+
+    def test_unknown_edge(self, butterfly):
+        with pytest.raises(EdgeNotFoundError):
+            community_of_edge(butterfly, 0, 99)
+
+    def test_unknown_vertex(self, butterfly):
+        with pytest.raises(VertexNotFoundError):
+            community_of_vertex(butterfly, "ghost")
+
+    def test_reuses_precomputed_result(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        community = community_of_edge(k5, 0, 1, result=result)
+        assert len(community) == 10
+
+    def test_triangle_free_vertex_has_no_communities(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert community_of_vertex(g, 1) == []

@@ -1,0 +1,79 @@
+"""Tests for the comparison-grid and timeline SVG renderers."""
+
+import pytest
+
+from repro.analysis import track_communities
+from repro.core import triangle_kcore_decomposition
+from repro.graph import Graph, SnapshotStream, complete_graph
+from repro.viz import density_plot, side_by_side_svg, timeline_svg
+
+
+@pytest.fixture
+def small_plot(k5):
+    result = triangle_kcore_decomposition(k5)
+    return density_plot(k5, result, title="K5")
+
+
+class TestSideBySide:
+    def test_grid_layout(self, small_plot):
+        svg = side_by_side_svg([small_plot] * 4, columns=2)
+        assert svg.startswith("<svg")
+        assert svg.count("<g transform") == 4
+        # 2x2 grid of 450x220 panels
+        assert 'width="900"' in svg
+        assert 'height="440"' in svg
+
+    def test_single_column(self, small_plot):
+        svg = side_by_side_svg([small_plot, small_plot], columns=1)
+        assert 'width="450"' in svg
+        assert 'height="440"' in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            side_by_side_svg([])
+
+    def test_column_floor(self, small_plot):
+        svg = side_by_side_svg([small_plot], columns=0)
+        assert svg.startswith("<svg")
+
+
+class TestTimelineSvg:
+    @pytest.fixture
+    def timeline(self):
+        def clique(members):
+            return [
+                (u, v) for i, u in enumerate(members) for v in members[i + 1 :]
+            ]
+
+        g0 = Graph(edges=clique(range(6)) + clique(range(10, 16)))
+        g1 = Graph(edges=clique(list(range(6)) + list(range(10, 16))))
+        return track_communities(SnapshotStream([g0, g1]))
+
+    def test_renders_merge(self, timeline):
+        svg = timeline_svg(timeline, labels=["before", "after"])
+        assert svg.startswith("<svg")
+        assert "before" in svg and "after" in svg
+        assert "<circle" in svg
+        assert "#c62828" in svg  # merge color used
+
+    def test_labels_optional(self, timeline):
+        svg = timeline_svg(timeline)
+        assert "t0" in svg and "t1" in svg
+
+    def test_empty_timeline_rejected(self):
+        from repro.analysis.timeline import CommunityTimeline
+
+        with pytest.raises(ValueError):
+            timeline_svg(CommunityTimeline())
+
+    def test_dissolve_marker(self):
+        def clique(members):
+            return [
+                (u, v) for i, u in enumerate(members) for v in members[i + 1 :]
+            ]
+
+        g0 = Graph(edges=clique(range(6)))
+        g1 = Graph(edges=clique(range(100, 106)))
+        timeline = track_communities(SnapshotStream([g0, g1]))
+        svg = timeline_svg(timeline)
+        assert "&#215;" in svg  # the dissolve cross

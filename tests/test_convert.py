@@ -1,0 +1,31 @@
+"""Tests for networkx conversion."""
+
+import networkx as nx
+
+from repro.graph import Graph, erdos_renyi
+from repro.graph.convert import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_roundtrip(self):
+        g = erdos_renyi(30, 0.2, seed=1)
+        back = from_networkx(to_networkx(g))
+        assert back == g
+
+    def test_isolated_vertices_survive(self):
+        g = Graph(edges=[(1, 2)], vertices=[9])
+        nx_graph = to_networkx(g)
+        assert 9 in nx_graph.nodes
+
+
+class TestFromNetworkx:
+    def test_drops_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(1, 1)
+        nx_graph.add_edge(1, 2)
+        g = from_networkx(nx_graph)
+        assert g.num_edges == 1
+
+    def test_multigraph_style_duplicates_collapsed(self):
+        nx_graph = nx.Graph([(1, 2), (2, 1)])
+        assert from_networkx(nx_graph).num_edges == 1

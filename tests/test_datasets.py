@@ -1,0 +1,153 @@
+"""Tests for the dataset registry and the planted case-study structure."""
+
+import pytest
+
+from repro.analysis import clique_report
+from repro.core import triangle_kcore_decomposition
+from repro.datasets import (
+    ASTROLOGY_CLIQUE,
+    ASTRONOMY_CLIQUE,
+    CLIQUE1_PROTEINS,
+    CLIQUE2_PROTEINS,
+    CLIQUE3_MISSING_EDGE,
+    CLIQUE3_PROTEINS,
+    NEW_FORM_AUTHORS,
+    load,
+    names,
+    snapshot_pair,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_names_cover_table1(self):
+        expected = {
+            "synthetic", "stocks", "ppi", "dblp", "astro", "epinions",
+            "amazon", "wiki", "flickr", "livejournal", "wiki_snapshots",
+        }
+        assert expected <= set(names())
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load("nope")
+
+    def test_deterministic(self):
+        a = load("synthetic")
+        b = load("synthetic")
+        assert a.graph == b.graph
+
+    @pytest.mark.parametrize("name", ["synthetic", "stocks", "ppi", "dblp"])
+    def test_paper_sizes_recorded(self, name):
+        dataset = load(name)
+        assert dataset.paper_vertices > 0
+        assert dataset.paper_edges > 0
+        assert dataset.description
+
+
+class TestSynthetic:
+    def test_size_near_paper(self):
+        dataset = load("synthetic")
+        assert dataset.num_vertices == 60
+        assert abs(dataset.num_edges - 308) < 40
+
+    def test_planted_cliques_visible_in_kappa(self):
+        dataset = load("synthetic")
+        result = triangle_kcore_decomposition(dataset.graph)
+        assert result.max_kappa == 8  # the 10-clique
+
+
+class TestStocks:
+    def test_exact_paper_size(self):
+        dataset = load("stocks")
+        assert dataset.num_vertices == 275
+        assert dataset.num_edges == 1680
+
+    def test_sector_blocks_are_dense(self):
+        dataset = load("stocks")
+        result = triangle_kcore_decomposition(dataset.graph)
+        assert result.max_kappa >= 5  # sectors show up as dense blocks
+
+
+class TestPPI:
+    @pytest.fixture(scope="class")
+    def ppi(self):
+        return load("ppi")
+
+    def test_size_near_paper(self, ppi):
+        assert abs(ppi.num_vertices - 4741) < 200
+        assert abs(ppi.num_edges - 15147) < 1500
+
+    def test_fig7_clique2_is_exact(self, ppi):
+        report = clique_report(ppi.graph, CLIQUE2_PROTEINS)
+        assert report.is_clique
+        assert len(report.vertices) == 10
+
+    def test_fig7_clique3_misses_one_edge(self, ppi):
+        report = clique_report(ppi.graph, CLIQUE3_PROTEINS)
+        assert report.missing_edges == (CLIQUE3_MISSING_EDGE,)
+
+    def test_fig7_clique1_is_dense(self, ppi):
+        report = clique_report(ppi.graph, CLIQUE1_PROTEINS)
+        assert report.density == 1.0
+
+    def test_complexes_labelled(self, ppi):
+        assert ppi.vertex_groups["PRE1"] == "20S proteasome"
+        assert ppi.vertex_groups["RPN11"] == "19/22S regulator"
+        assert all(v in ppi.vertex_groups for v in ppi.graph.vertices())
+
+
+class TestDBLP:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return load("dblp")
+
+    def test_snapshots_labelled(self, dblp):
+        assert dblp.snapshot_labels == ["2000", "2001", "2002", "2003", "2004"]
+        assert len(dblp.snapshots) == 5
+
+    def test_new_form_authors_unconnected_before_2004(self, dblp):
+        old, new = snapshot_pair(dblp, "2003", "2004")
+        for i, u in enumerate(NEW_FORM_AUTHORS):
+            for v in NEW_FORM_AUTHORS[i + 1 :]:
+                assert not old.has_edge(u, v)
+                assert new.has_edge(u, v)
+
+    def test_snapshot_pair_lookup(self, dblp):
+        g2000, g2001 = snapshot_pair(dblp, "2000", "2001")
+        assert g2000 is dblp.snapshots[0]
+        assert g2001 is dblp.snapshots[1]
+
+
+class TestWikiSnapshots:
+    @pytest.fixture(scope="class")
+    def wiki(self):
+        return load("wiki_snapshots")
+
+    def test_two_snapshots(self, wiki):
+        assert len(wiki.snapshots) == 2
+        assert wiki.snapshots[1].num_edges > wiki.snapshots[0].num_edges
+
+    def test_astrology_grows_clique(self, wiki):
+        before, after = wiki.snapshots
+        report_before = clique_report(before, ASTRONOMY_CLIQUE + ["Astrology"])
+        assert not report_before.is_clique
+        report_after = clique_report(after, ASTRONOMY_CLIQUE + ["Astrology"])
+        assert report_after.is_clique
+
+    def test_astrology_in_small_clique_before(self, wiki):
+        report = clique_report(wiki.snapshots[0], ASTROLOGY_CLIQUE)
+        assert report.is_clique
+
+
+class TestLargeStandins:
+    @pytest.mark.parametrize(
+        "name", ["astro", "epinions", "amazon", "wiki"]
+    )
+    def test_nontrivial_triangle_structure(self, name):
+        dataset = load(name)
+        result = triangle_kcore_decomposition(dataset.graph)
+        assert result.max_kappa >= 2, name
+
+    def test_scaled_sizes_ordered_like_paper(self):
+        sizes = [load(n).num_edges for n in ("astro", "flickr", "livejournal")]
+        assert sizes == sorted(sizes)

@@ -1,0 +1,372 @@
+"""Tests for incremental Triangle K-Core maintenance (Algorithms 2/5-7).
+
+The central guarantee: after any sequence of edge insertions and deletions,
+the maintainer's kappa map is identical to a from-scratch run of
+Algorithm 1 on the current graph.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+from repro.core.dynamic import h_index, insertion_upper_bound
+from repro.exceptions import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+def assert_matches_static(maintainer: DynamicTriangleKCore) -> None:
+    expected = triangle_kcore_decomposition(maintainer.graph).kappa
+    assert maintainer.kappa == expected
+
+
+class TestHIndex:
+    def test_examples(self):
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([1]) == 1
+        assert h_index([3, 3, 2, 0]) == 2
+        assert h_index([5, 5, 5, 5, 5]) == 5
+
+    def test_insertion_upper_bound(self):
+        assert insertion_upper_bound([]) == 0
+        assert insertion_upper_bound([0]) == 1
+        assert insertion_upper_bound([2, 2, 2]) == 3
+
+
+class TestSingleInsertions:
+    def test_lone_triangle_promotes_all_three(self):
+        maintainer = DynamicTriangleKCore(Graph(edges=[(0, 1), (1, 2)]))
+        maintainer.add_edge(0, 2)
+        assert maintainer.kappa == {(0, 1): 1, (1, 2): 1, (0, 2): 1}
+
+    def test_edge_without_triangles(self):
+        maintainer = DynamicTriangleKCore(Graph(edges=[(0, 1)]))
+        maintainer.add_edge(2, 3)
+        assert maintainer.kappa_of(2, 3) == 0
+
+    def test_new_vertex_edge(self):
+        maintainer = DynamicTriangleKCore(complete_graph(3))
+        maintainer.add_edge(0, 99)
+        assert maintainer.kappa_of(0, 99) == 0
+        assert_matches_static(maintainer)
+
+    def test_completing_k5(self):
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        maintainer = DynamicTriangleKCore(g)
+        maintainer.add_edge(0, 1)
+        assert set(maintainer.kappa.values()) == {3}
+
+    def test_new_edge_climbs_multiple_levels(self):
+        """Re-inserting a K6 edge must lift the new edge to 4 and carry the
+        other edges from 3 to 4 in the coupled climb pass."""
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        maintainer = DynamicTriangleKCore(g)
+        stats = maintainer.add_edge(0, 1)
+        assert maintainer.kappa_of(0, 1) == 4
+        assert stats.levels_touched >= 1
+        assert stats.edges_changed == 16  # e0 + all 15 edges end at 4
+        assert_matches_static(maintainer)
+
+    def test_duplicate_edge_rejected(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        with pytest.raises(EdgeExistsError):
+            maintainer.add_edge(0, 1)
+
+    def test_self_loop_rejected(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        with pytest.raises(SelfLoopError):
+            maintainer.add_edge(1, 1)
+
+
+class TestSingleDeletions:
+    def test_breaking_lone_triangle(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        maintainer.remove_edge(0, 1)
+        assert maintainer.kappa == {(1, 2): 0, (0, 2): 0}
+
+    def test_removing_clique_edge(self):
+        maintainer = DynamicTriangleKCore(complete_graph(5))
+        maintainer.remove_edge(0, 1)
+        assert_matches_static(maintainer)
+        assert set(maintainer.kappa.values()) == {2}
+
+    def test_missing_edge_rejected(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.remove_edge(0, 9)
+
+    def test_cascading_demotion(self):
+        """Deleting one edge of a chained structure demotes its neighbors."""
+        g = complete_graph(4)
+        g.add_edge(0, 4)
+        g.add_edge(1, 4)
+        maintainer = DynamicTriangleKCore(g)
+        maintainer.remove_edge(2, 3)
+        assert_matches_static(maintainer)
+
+
+class TestVertexOperations:
+    def test_add_vertex(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        maintainer.add_vertex(42)
+        assert maintainer.graph.has_vertex(42)
+        assert_matches_static(maintainer)
+
+    def test_remove_vertex(self):
+        maintainer = DynamicTriangleKCore(complete_graph(5))
+        maintainer.remove_vertex(0)
+        assert not maintainer.graph.has_vertex(0)
+        assert set(maintainer.kappa.values()) == {2}
+        assert_matches_static(maintainer)
+
+
+class TestBatchApply:
+    def test_apply_matches_static(self):
+        g = erdos_renyi(30, 0.2, seed=5)
+        maintainer = DynamicTriangleKCore(g)
+        removed = list(g.edges())[:5]
+        added = [(0, 25), (1, 26), (2, 27)]
+        added = [(u, v) for u, v in added if not g.has_edge(u, v)]
+        stats = maintainer.apply(added=added, removed=removed)
+        assert stats.edges_changed >= len(added) + len(removed)
+        assert_matches_static(maintainer)
+
+    def test_copy_semantics(self):
+        g = complete_graph(4)
+        maintainer = DynamicTriangleKCore(g)
+        maintainer.remove_edge(0, 1)
+        assert g.has_edge(0, 1), "caller graph must be untouched"
+
+    def test_no_copy_semantics(self):
+        g = complete_graph(4)
+        maintainer = DynamicTriangleKCore(g, copy=False)
+        maintainer.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("store_triangles", [False, True])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_edit_scripts_sparse(self, seed, store_triangles):
+        rng = random.Random(seed)
+        g = erdos_renyi(24, 0.2, seed=seed)
+        maintainer = DynamicTriangleKCore(g, store_triangles=store_triangles)
+        vertices = sorted(g.vertices())
+        for _ in range(50):
+            u, v = rng.sample(vertices, 2)
+            if maintainer.graph.has_edge(u, v):
+                maintainer.remove_edge(u, v)
+            else:
+                maintainer.add_edge(u, v)
+        assert_matches_static(maintainer)
+
+    def test_store_mode_index_stays_consistent(self):
+        rng = random.Random(99)
+        g = erdos_renyi(20, 0.3, seed=9)
+        maintainer = DynamicTriangleKCore(g, store_triangles=True)
+        vertices = sorted(g.vertices())
+        for _ in range(40):
+            u, v = rng.sample(vertices, 2)
+            if maintainer.graph.has_edge(u, v):
+                maintainer.remove_edge(u, v)
+            else:
+                maintainer.add_edge(u, v)
+        assert maintainer._store.is_consistent()
+        assert_matches_static(maintainer)
+
+    def test_store_mode_vertex_removal(self):
+        g = complete_graph(5)
+        maintainer = DynamicTriangleKCore(g, store_triangles=True)
+        maintainer.remove_vertex(0)
+        assert set(maintainer.kappa.values()) == {2}
+        assert maintainer._store.is_consistent()
+        assert_matches_static(maintainer)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_edit_scripts_dense_checked_every_step(self, seed):
+        rng = random.Random(seed + 100)
+        g = erdos_renyi(16, 0.5, seed=seed)
+        maintainer = DynamicTriangleKCore(g)
+        vertices = sorted(g.vertices())
+        for _ in range(30):
+            u, v = rng.sample(vertices, 2)
+            if maintainer.graph.has_edge(u, v):
+                maintainer.remove_edge(u, v)
+            else:
+                maintainer.add_edge(u, v)
+            assert_matches_static(maintainer)
+
+    def test_grow_then_shrink_clique(self):
+        maintainer = DynamicTriangleKCore(Graph(vertices=range(7)))
+        pairs = [(i, j) for i in range(7) for j in range(i + 1, 7)]
+        for u, v in pairs:
+            maintainer.add_edge(u, v)
+        assert set(maintainer.kappa.values()) == {5}
+        for u, v in reversed(pairs):
+            maintainer.remove_edge(u, v)
+        assert maintainer.kappa == {}
+        assert maintainer.graph.num_edges == 0
+
+    def test_rule0_change_bound(self):
+        """No existing edge moves more than one level per single update."""
+        rng = random.Random(7)
+        g = erdos_renyi(20, 0.4, seed=7)
+        maintainer = DynamicTriangleKCore(g)
+        vertices = sorted(g.vertices())
+        for _ in range(40):
+            before = dict(maintainer.kappa)
+            u, v = rng.sample(vertices, 2)
+            if maintainer.graph.has_edge(u, v):
+                maintainer.remove_edge(u, v)
+            else:
+                maintainer.add_edge(u, v)
+            after = maintainer.kappa
+            for edge, old_value in before.items():
+                if edge in after and edge != tuple(sorted((u, v), key=repr)):
+                    assert abs(after[edge] - old_value) <= 1, edge
+
+
+class TestResultSnapshot:
+    def test_result_wraps_current_state(self, k5):
+        maintainer = DynamicTriangleKCore(k5)
+        result = maintainer.result()
+        assert result.max_kappa == 3
+        assert result.kappa == maintainer.kappa
+
+    def test_max_kappa_property(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        assert maintainer.max_kappa == 1
+
+
+class TestApplyStrategies:
+    def test_recompute_strategy_matches_incremental(self):
+        g = erdos_renyi(25, 0.25, seed=31)
+        removed = list(g.edges())[:6]
+        added = [(0, 23), (1, 24), (2, 22)]
+        added = [(u, v) for u, v in added if not g.has_edge(u, v)]
+        a = DynamicTriangleKCore(g)
+        a.apply(added=added, removed=removed, strategy="incremental")
+        b = DynamicTriangleKCore(g)
+        b.apply(added=added, removed=removed, strategy="recompute")
+        assert a.kappa == b.kappa
+        assert a.graph == b.graph
+
+    def test_recompute_strategy_with_store(self):
+        g = erdos_renyi(20, 0.3, seed=32)
+        maintainer = DynamicTriangleKCore(g, store_triangles=True)
+        removed = list(g.edges())[:4]
+        maintainer.apply(removed=removed, strategy="recompute")
+        assert maintainer._store.is_consistent()
+        assert_matches_static(maintainer)
+
+    def test_auto_picks_recompute_for_heavy_churn(self):
+        g = erdos_renyi(25, 0.3, seed=33)
+        removed = list(g.edges())[: g.num_edges // 2]  # ~50% churn
+        maintainer = DynamicTriangleKCore(g)
+        maintainer.apply(removed=removed, strategy="auto")
+        assert_matches_static(maintainer)
+
+    def test_auto_picks_incremental_for_light_churn(self):
+        g = erdos_renyi(40, 0.3, seed=34)
+        removed = list(g.edges())[:2]
+        maintainer = DynamicTriangleKCore(g)
+        maintainer.apply(removed=removed, strategy="auto")
+        assert_matches_static(maintainer)
+
+    def test_invalid_strategy(self, triangle_graph):
+        maintainer = DynamicTriangleKCore(triangle_graph)
+        with pytest.raises(ValueError):
+            maintainer.apply(strategy="bogus")
+
+    def test_recompute_strategy_edges_changed_counter(self):
+        maintainer = DynamicTriangleKCore(complete_graph(4))
+        stats = maintainer.apply(removed=[(0, 1)], strategy="recompute")
+        # (0,1) disappeared and the remaining 5 edges moved 2 -> 1.
+        assert stats.edges_changed == 6
+
+    def test_stale_detected_in_recompute_path(self):
+        from repro.exceptions import StaleIndexError
+
+        g = complete_graph(4)
+        maintainer = DynamicTriangleKCore(g, copy=False)
+        g.add_edge(0, 9)
+        with pytest.raises(StaleIndexError):
+            maintainer.apply(removed=[(0, 1)], strategy="recompute")
+
+
+class TestDiffApply:
+    def test_deletion_delta(self):
+        maintainer = DynamicTriangleKCore(complete_graph(5))
+        delta = maintainer.diff_apply(removed=[(0, 1)])
+        assert delta.deleted == {(0, 1): 3}
+        assert len(delta.demoted) == 9
+        assert all(old == 3 and new == 2 for old, new in delta.demoted.values())
+        assert delta.created == {} and delta.promoted == {}
+        assert not delta.is_empty
+        assert len(delta.touched_edges()) == 10
+
+    def test_insertion_delta(self):
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        maintainer = DynamicTriangleKCore(g)
+        delta = maintainer.diff_apply(added=[(0, 1)])
+        assert delta.created == {(0, 1): 3}
+        assert all(old == 2 and new == 3 for old, new in delta.promoted.values())
+        assert len(delta.promoted) == 9
+
+    def test_empty_batch_is_empty_delta(self, k5):
+        maintainer = DynamicTriangleKCore(k5)
+        delta = maintainer.diff_apply()
+        assert delta.is_empty
+        assert "+0" in repr(delta)
+
+    def test_delta_under_recompute_strategy(self):
+        g = erdos_renyi(20, 0.3, seed=41)
+        a = DynamicTriangleKCore(g)
+        b = DynamicTriangleKCore(g)
+        removed = list(g.edges())[:4]
+        delta_inc = a.diff_apply(removed=removed)
+        delta_rec = b.diff_apply(removed=removed, strategy="recompute")
+        assert delta_inc.deleted == delta_rec.deleted
+        assert delta_inc.promoted == delta_rec.promoted
+        assert delta_inc.demoted == delta_rec.demoted
+
+    def test_delta_feeds_dual_view_scoring(self):
+        """The delta contains exactly the edges Algorithm 3 re-scores."""
+        g = complete_graph(6, offset=100)
+        for v in range(3):
+            g.add_vertex(v)
+        maintainer = DynamicTriangleKCore(g)
+        added = [(0, 1), (1, 2), (0, 2)]
+        delta = maintainer.diff_apply(added=added)
+        from repro.graph import canonical_edge
+
+        assert set(delta.created) == {canonical_edge(u, v) for u, v in added}
+        assert all(k == 1 for k in delta.created.values())
+
+
+class TestSoak:
+    def test_long_random_soak_all_modes(self):
+        """300 mixed operations across both store modes, verified at the
+        end and spot-checked along the way."""
+        rng = random.Random(2024)
+        g = erdos_renyi(30, 0.25, seed=77)
+        plain = DynamicTriangleKCore(g)
+        stored = DynamicTriangleKCore(g, store_triangles=True)
+        vertices = sorted(g.vertices())
+        for step in range(300):
+            u, v = rng.sample(vertices, 2)
+            if plain.graph.has_edge(u, v):
+                plain.remove_edge(u, v)
+                stored.remove_edge(u, v)
+            else:
+                plain.add_edge(u, v)
+                stored.add_edge(u, v)
+            if step % 60 == 0:
+                assert plain.kappa == stored.kappa
+        assert plain.kappa == stored.kappa
+        assert plain.kappa == triangle_kcore_decomposition(plain.graph).kappa
+        assert stored._store.is_consistent()

@@ -1,0 +1,75 @@
+"""Unit tests for canonical edge/triangle keys."""
+
+import pytest
+
+from repro.graph.edge import (
+    apex,
+    canonical_edge,
+    canonical_triangle,
+    other_edges,
+    triangle_edges,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_integers(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_orders_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_deterministic(self):
+        forward = canonical_edge(1, "a")
+        backward = canonical_edge("a", 1)
+        assert forward == backward
+
+    def test_usable_as_dict_key(self):
+        d = {canonical_edge(5, 3): "x"}
+        assert d[canonical_edge(3, 5)] == "x"
+
+    def test_negative_numbers(self):
+        assert canonical_edge(3, -7) == (-7, 3)
+
+    def test_tuple_vertices(self):
+        assert canonical_edge((2, 0), (1, 9)) == ((1, 9), (2, 0))
+
+
+class TestCanonicalTriangle:
+    def test_sorts_vertices(self):
+        assert canonical_triangle(3, 1, 2) == (1, 2, 3)
+
+    def test_all_rotations_identical(self):
+        expected = canonical_triangle("x", "y", "z")
+        assert canonical_triangle("z", "x", "y") == expected
+        assert canonical_triangle("y", "z", "x") == expected
+
+    def test_mixed_types_deterministic(self):
+        a = canonical_triangle(1, "b", 2.5)
+        b = canonical_triangle("b", 2.5, 1)
+        assert a == b
+
+
+class TestTriangleEdges:
+    def test_three_canonical_edges(self):
+        assert triangle_edges((1, 2, 3)) == ((1, 2), (1, 3), (2, 3))
+
+    def test_other_edges_each_position(self):
+        assert other_edges((1, 2, 3), (1, 2)) == ((1, 3), (2, 3))
+        assert other_edges((1, 2, 3), (1, 3)) == ((1, 2), (2, 3))
+        assert other_edges((1, 2, 3), (2, 3)) == ((1, 2), (1, 3))
+
+    def test_other_edges_rejects_foreign_edge(self):
+        with pytest.raises(ValueError):
+            other_edges((1, 2, 3), (4, 5))
+
+
+class TestApex:
+    def test_returns_opposite_vertex(self):
+        assert apex((1, 2, 3), (1, 3)) == 2
+        assert apex((1, 2, 3), (1, 2)) == 3
+        assert apex((1, 2, 3), (2, 3)) == 1
+
+    def test_rejects_foreign_edge(self):
+        with pytest.raises(ValueError):
+            apex((1, 2, 3), (7, 8))

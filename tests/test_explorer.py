@@ -1,0 +1,75 @@
+"""Tests for the interactive HTML explorer (structure + embedded data)."""
+
+import json
+import re
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.graph import complete_graph
+from repro.viz import (
+    density_plot,
+    dual_view_explorer_html,
+    dual_view_plots,
+    explorer_html,
+    save_explorer,
+)
+
+
+def extract_json(document: str, variable: str) -> dict:
+    match = re.search(rf"const {variable} = (\{{.*?\}});", document)
+    assert match, f"{variable} not embedded"
+    return json.loads(match.group(1))
+
+
+@pytest.fixture
+def plot(k5):
+    result = triangle_kcore_decomposition(k5)
+    return density_plot(k5, result, title="K5 & <friends>")
+
+
+class TestExplorerHtml:
+    def test_document_structure(self, plot):
+        doc = explorer_html(plot, title="probe <script>")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<canvas" in doc
+        assert "attachExplorer" in doc
+        # Title is escaped.
+        assert "probe &lt;script&gt;" in doc
+        assert "<script>alert" not in doc
+
+    def test_embedded_data_matches_plot(self, plot):
+        doc = explorer_html(plot)
+        data = extract_json(doc, "PLOT_DATA")
+        assert data["order"] == [str(v) for v in plot.order]
+        assert data["heights"] == plot.heights
+        assert data["title"] == "K5 & <friends>"
+
+    def test_save(self, plot, tmp_path):
+        path = tmp_path / "explorer.html"
+        save_explorer(explorer_html(plot), str(path))
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestDualViewExplorer:
+    @pytest.fixture
+    def plots(self):
+        g = complete_graph(4)
+        return dual_view_plots(g, added=[(0, 9), (1, 9), (0, 8), (9, 8)])
+
+    def test_two_payloads(self, plots):
+        doc = dual_view_explorer_html(plots)
+        before = extract_json(doc, "BEFORE_DATA")
+        after = extract_json(doc, "AFTER_DATA")
+        assert set(before["order"]) <= set(after["order"])
+        assert len(after["order"]) == len(plots.after.order)
+
+    def test_cross_view_wiring_present(self, plots):
+        doc = dual_view_explorer_html(plots)
+        assert "beforeView.redraw(new Set(members))" in doc
+        assert doc.count("<canvas") == 2
+
+    def test_vertices_stringified_consistently(self, plots):
+        doc = dual_view_explorer_html(plots)
+        after = extract_json(doc, "AFTER_DATA")
+        assert all(isinstance(v, str) for v in after["order"])

@@ -1,0 +1,120 @@
+"""Unit tests for maximum Triangle K-Core extraction."""
+
+import pytest
+
+from repro.core import (
+    dense_communities,
+    is_triangle_kcore,
+    level_subgraph,
+    max_core_of_edge,
+    triangle_connected_component,
+    triangle_connected_components,
+    triangle_kcore_decomposition,
+    vertex_set_of_edges,
+)
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+class TestLevelSubgraph:
+    def test_is_triangle_kcore_at_level(self):
+        g = erdos_renyi(40, 0.25, seed=1)
+        result = triangle_kcore_decomposition(g)
+        for k in range(1, result.max_kappa + 1):
+            sub = level_subgraph(g, result, k)
+            assert is_triangle_kcore(sub, k), k
+
+    def test_level_zero_is_whole_edge_set(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        sub = level_subgraph(fig2_graph, result, 0)
+        assert set(sub.edges()) == set(fig2_graph.edges())
+
+    def test_level_above_max_is_empty(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        assert level_subgraph(k5, result, 4).num_edges == 0
+
+
+class TestIsTriangleKCore:
+    def test_clique(self):
+        assert is_triangle_kcore(complete_graph(5), 3)
+        assert not is_triangle_kcore(complete_graph(5), 4)
+
+    def test_zero_always_true(self):
+        assert is_triangle_kcore(Graph(edges=[(1, 2)]), 0)
+
+
+class TestMaxCoreOfEdge:
+    def test_fig2_edge_ab(self, fig2_graph):
+        """AB's maximum core (kappa=1) is the whole graph per Claim 2."""
+        result = triangle_kcore_decomposition(fig2_graph)
+        core = max_core_of_edge(fig2_graph, result, "A", "B", connected=False)
+        assert set(core.edges()) == set(fig2_graph.edges())
+
+    def test_fig2_edge_bc_connected(self, fig2_graph):
+        """BC at kappa=2 lives in the K4 {B,C,D,E}."""
+        result = triangle_kcore_decomposition(fig2_graph)
+        core = max_core_of_edge(fig2_graph, result, "B", "C")
+        assert set(core.vertices()) == {"B", "C", "D", "E"}
+        assert core.num_edges == 6
+
+    def test_core_contains_edge_and_is_valid(self):
+        g = erdos_renyi(40, 0.25, seed=2)
+        result = triangle_kcore_decomposition(g)
+        for u, v in list(g.edges())[:20]:
+            k = result.kappa_of(u, v)
+            core = max_core_of_edge(g, result, u, v)
+            assert core.has_edge(u, v)
+            if k > 0:
+                assert is_triangle_kcore(core, k), (u, v, k)
+
+
+class TestTriangleConnectivity:
+    def test_two_cliques_sharing_vertex_are_separate(
+        self, two_cliques_sharing_vertex
+    ):
+        g = two_cliques_sharing_vertex
+        result = triangle_kcore_decomposition(g)
+        components = triangle_connected_components(g, result, 2)
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [6, 6]
+
+    def test_component_of_low_kappa_start_is_empty(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        assert (
+            triangle_connected_component(fig2_graph, result, ("A", "B"), 2) == set()
+        )
+
+    def test_components_partition_level_edges(self):
+        g = erdos_renyi(40, 0.3, seed=3)
+        result = triangle_kcore_decomposition(g)
+        for k in range(1, result.max_kappa + 1):
+            components = triangle_connected_components(g, result, k)
+            level_edges = set(result.edges_with_kappa_at_least(k))
+            combined = set()
+            for component in components:
+                assert not (combined & component), "components overlap"
+                combined |= component
+            assert combined == level_edges
+
+
+class TestDenseCommunities:
+    def test_densest_first(self):
+        g = complete_graph(6)
+        for u in (100, 101, 102, 103):
+            for v in (100, 101, 102, 103):
+                if u < v:
+                    g.add_edge(u, v)
+        result = triangle_kcore_decomposition(g)
+        communities = list(dense_communities(g, result))
+        assert communities[0][0] == 4  # K6 first
+        assert communities[0][1] == set(range(6))
+        assert communities[1][0] == 2  # K4 second
+        assert communities[1][1] == {100, 101, 102, 103}
+
+    def test_nested_communities_deduplicated(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        communities = list(dense_communities(k5, result))
+        assert len(communities) == 1
+
+    def test_vertex_set_of_edges(self):
+        assert vertex_set_of_edges({(1, 2), (2, 3)}) == {1, 2, 3}

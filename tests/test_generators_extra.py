@@ -1,0 +1,105 @@
+"""Tests for the clustered and evolving generators (Holme-Kim, forest fire)."""
+
+import pytest
+
+from repro.graph import (
+    SnapshotStream,
+    forest_fire,
+    global_clustering_coefficient,
+    growth_snapshots,
+    powerlaw_cluster,
+)
+
+
+class TestPowerlawCluster:
+    def test_size(self):
+        g = powerlaw_cluster(200, 3, 0.5, seed=1)
+        assert g.num_vertices == 200
+        assert g.num_edges == 6 + 3 * (200 - 4)  # K4 seed + m per vertex
+
+    def test_deterministic(self):
+        assert powerlaw_cluster(100, 3, 0.5, seed=2) == powerlaw_cluster(
+            100, 3, 0.5, seed=2
+        )
+
+    def test_triad_formation_raises_clustering(self):
+        low = powerlaw_cluster(400, 3, 0.0, seed=3)
+        high = powerlaw_cluster(400, 3, 0.9, seed=3)
+        assert global_clustering_coefficient(high) > (
+            global_clustering_coefficient(low)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(5, 5, 0.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 2, 1.5)
+
+
+class TestForestFire:
+    def test_connected_and_sized(self):
+        g = forest_fire(300, 0.37, seed=1)
+        assert g.num_vertices == 300
+        assert len(g.connected_components()) == 1
+
+    def test_deterministic(self):
+        assert forest_fire(150, 0.3, seed=4) == forest_fire(150, 0.3, seed=4)
+
+    def test_higher_burn_probability_densifies(self):
+        sparse = forest_fire(300, 0.1, seed=5)
+        dense = forest_fire(300, 0.5, seed=5)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_produces_triangles(self):
+        g = forest_fire(300, 0.4, seed=6)
+        assert global_clustering_coefficient(g) > 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            forest_fire(10, 1.0)
+        with pytest.raises(ValueError):
+            forest_fire(0, 0.3)
+
+    def test_single_vertex(self):
+        g = forest_fire(1, 0.3)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestGrowthSnapshots:
+    def test_prefix_property(self):
+        """Snapshot m is exactly the process state after m vertices (forest
+        fire only ever adds edges incident to the newest vertex)."""
+        snaps = growth_snapshots(200, 4, seed=7)
+        full = forest_fire(200, 0.37, seed=7)
+        for snapshot in snaps:
+            for u, v in snapshot.edges():
+                assert full.has_edge(u, v)
+        assert snaps[-1] == full
+
+    def test_monotone_growth(self):
+        snaps = growth_snapshots(200, 5, seed=8)
+        sizes = [s.num_edges for s in snaps]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            growth_snapshots(100, 0)
+
+    def test_dynamic_maintenance_over_growth_stream(self):
+        """Replay a growth stream through the maintainer; state must match
+        a fresh decomposition at every snapshot."""
+        from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+        from repro.graph.io import graph_diff
+
+        snaps = growth_snapshots(150, 3, seed=9)
+        stream = SnapshotStream(snaps)
+        maintainer = DynamicTriangleKCore(stream[0])
+        for index in range(1, len(stream)):
+            added, removed = graph_diff(stream[index - 1], stream[index])
+            for vertex in stream[index].vertices():
+                if not maintainer.graph.has_vertex(vertex):
+                    maintainer.add_vertex(vertex)
+            maintainer.apply(added=added, removed=removed)
+            expected = triangle_kcore_decomposition(stream[index]).kappa
+            assert maintainer.kappa == expected

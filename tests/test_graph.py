@@ -1,0 +1,240 @@
+"""Unit tests for the Graph substrate."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph import Graph, complete_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_from_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_vertices_and_edges(self):
+        g = Graph(edges=[(1, 2)], vertices=[9])
+        assert g.has_vertex(9)
+        assert g.degree(9) == 0
+
+    def test_duplicate_edges_in_constructor_collapsed(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+
+class TestMutation:
+    def test_add_vertex_idempotent_report(self):
+        g = Graph()
+        assert g.add_vertex("a") is True
+        assert g.add_vertex("a") is False
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+
+    def test_add_duplicate_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(2, 1)
+
+    def test_add_duplicate_edge_exist_ok(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.add_edge(2, 1, exist_ok=True) is False
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_remove_missing_edge_missing_ok(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.remove_edge(1, 3, missing_ok=True) is False
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = Graph(edges=[(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert g.num_edges == 1
+        assert not g.has_vertex(1)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().remove_vertex("ghost")
+
+    def test_clear(self):
+        g = Graph(edges=[(1, 2)])
+        g.clear()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_edge_count_stays_consistent_through_churn(self):
+        g = Graph()
+        for i in range(10):
+            for j in range(i + 1, 10):
+                g.add_edge(i, j)
+        assert g.num_edges == 45
+        g.remove_vertex(0)
+        assert g.num_edges == 36
+        g.remove_edge(1, 2)
+        assert g.num_edges == 35
+        assert g.num_edges == sum(1 for _ in g.edges())
+
+
+class TestQueries:
+    def test_edges_canonical_and_unique(self):
+        g = Graph(edges=[(2, 1), (3, 2)])
+        assert sorted(g.edges()) == [(1, 2), (2, 3)]
+
+    def test_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+
+    def test_neighbors_missing_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().neighbors(1)
+
+    def test_degree(self):
+        g = complete_graph(5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_common_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3), (2, 3), (2, 4), (1, 4)])
+        assert g.common_neighbors(1, 2) == {3, 4}
+
+    def test_edge_support(self, k5):
+        assert k5.edge_support(0, 1) == 3
+
+    def test_contains_len_iter(self):
+        g = Graph(edges=[(1, 2)])
+        assert 1 in g
+        assert len(g) == 2
+        assert set(iter(g)) == {1, 2}
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(1, 3)
+        assert a != b
+
+    def test_repr(self):
+        assert repr(Graph(edges=[(1, 2)])) == "Graph(|V|=2, |E|=1)"
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_subgraph(self, k5):
+        sub = k5.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_ignores_foreign_vertices(self, k5):
+        sub = k5.subgraph([0, 1, 99])
+        assert sub.num_vertices == 2
+
+    def test_edge_subgraph(self, k5):
+        sub = k5.edge_subgraph([(0, 1), (1, 2)])
+        assert sub.num_edges == 2
+
+    def test_edge_subgraph_rejects_missing_edge(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_subgraph([(1, 3)])
+
+    def test_connected_components(self):
+        g = Graph(edges=[(1, 2), (3, 4)], vertices=[9])
+        components = sorted(g.connected_components(), key=lambda c: min(str(x) for x in c))
+        assert {1, 2} in components
+        assert {3, 4} in components
+        assert {9} in components
+
+
+class TestCompleteGraph:
+    def test_size(self):
+        g = complete_graph(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+
+    def test_offset(self):
+        g = complete_graph(3, offset=10)
+        assert set(g.vertices()) == {10, 11, 12}
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        from repro.exceptions import (
+            DatasetError,
+            DecompositionError,
+            EdgeExistsError,
+            EdgeNotFoundError,
+            GraphError,
+            ReproError,
+            SelfLoopError,
+            StaleIndexError,
+            TemplateError,
+            ValidationError,
+            VertexNotFoundError,
+        )
+
+        for error_type in (
+            DatasetError, DecompositionError, EdgeExistsError,
+            EdgeNotFoundError, GraphError, SelfLoopError, StaleIndexError,
+            TemplateError, ValidationError, VertexNotFoundError,
+        ):
+            assert issubclass(error_type, ReproError), error_type
+
+    def test_lookup_errors_are_also_keyerrors(self):
+        from repro.exceptions import EdgeNotFoundError, VertexNotFoundError
+
+        assert issubclass(EdgeNotFoundError, KeyError)
+        assert issubclass(VertexNotFoundError, KeyError)
+
+    def test_value_errors(self):
+        from repro.exceptions import EdgeExistsError, SelfLoopError
+
+        assert issubclass(EdgeExistsError, ValueError)
+        assert issubclass(SelfLoopError, ValueError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.exceptions import ReproError
+
+        g = Graph(edges=[(1, 2)])
+        caught = 0
+        for action in (
+            lambda: g.remove_edge(5, 6),
+            lambda: g.neighbors("ghost"),
+            lambda: g.add_edge(1, 1),
+        ):
+            try:
+                action()
+            except ReproError:
+                caught += 1
+        assert caught == 3

@@ -1,0 +1,98 @@
+"""Unit tests for the classic vertex K-Core decomposition."""
+
+import pytest
+
+from repro.core import (
+    core_filter_for_triangle_kcore,
+    degeneracy,
+    kcore_decomposition,
+    kcore_subgraph,
+    triangle_kcore_decomposition,
+)
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+class TestKCoreDecomposition:
+    def test_clique(self):
+        core = kcore_decomposition(complete_graph(5))
+        assert all(value == 4 for value in core.values())
+
+    def test_path(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        core = kcore_decomposition(g)
+        assert all(value == 1 for value in core.values())
+
+    def test_isolated_vertex(self):
+        g = Graph(vertices=[1])
+        assert kcore_decomposition(g) == {1: 0}
+
+    def test_paper_fig1a_structure(self):
+        """A 5-vertex 2-core built with minimal edges: a 5-cycle."""
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        core = kcore_decomposition(g)
+        assert all(value == 2 for value in core.values())
+        # Minimal 2-core has no triangles: its Triangle K-Core numbers are 0
+        # (the paper's Figure 1 point: K-Core is a weak clique proxy).
+        tkc = triangle_kcore_decomposition(g)
+        assert all(value == 0 for value in tkc.kappa.values())
+
+    def test_against_networkx(self):
+        import networkx as nx
+
+        from repro.graph.convert import to_networkx
+
+        g = erdos_renyi(60, 0.15, seed=8)
+        ours = kcore_decomposition(g)
+        theirs = nx.core_number(to_networkx(g))
+        assert ours == dict(theirs)
+
+    def test_hub_and_spokes(self):
+        g = Graph(edges=[(0, i) for i in range(1, 8)])
+        core = kcore_decomposition(g)
+        assert core[0] == 1
+        assert all(core[i] == 1 for i in range(1, 8))
+
+
+class TestKCoreSubgraph:
+    def test_subgraph_min_degree(self):
+        g = erdos_renyi(50, 0.15, seed=3)
+        sub = kcore_subgraph(g, 3)
+        for v in sub.vertices():
+            assert sub.degree(v) >= 3
+
+    def test_subgraph_maximality(self):
+        g = erdos_renyi(50, 0.15, seed=3)
+        core = kcore_decomposition(g)
+        sub = kcore_subgraph(g, 2)
+        assert set(sub.vertices()) == {v for v, c in core.items() if c >= 2}
+
+    def test_empty_when_k_too_large(self, k5):
+        assert kcore_subgraph(k5, 5).num_vertices == 0
+
+
+class TestDegeneracy:
+    def test_clique(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_forest(self):
+        g = Graph(edges=[(0, 1), (1, 2), (1, 3)])
+        assert degeneracy(g) == 1
+
+
+class TestCoreFilter:
+    def test_preserves_triangle_kcores(self):
+        """Filtering to the (k+1)-core must keep every kappa >= k edge."""
+        g = erdos_renyi(60, 0.2, seed=11)
+        result = triangle_kcore_decomposition(g)
+        for k in range(1, result.max_kappa + 1):
+            filtered = core_filter_for_triangle_kcore(g, k)
+            for edge in result.edges_with_kappa_at_least(k):
+                u, v = edge
+                assert filtered.has_edge(u, v), (k, edge)
+
+    def test_rejects_negative_k(self, k5):
+        with pytest.raises(ValueError):
+            core_filter_for_triangle_kcore(k5, -1)

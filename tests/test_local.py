@@ -1,0 +1,90 @@
+"""Tests for local kappa bounds."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ball_vertices,
+    edge_ball,
+    kappa_bounds,
+    kappa_lower_bound,
+    kappa_upper_bound,
+    triangle_kcore_decomposition,
+)
+from repro.exceptions import EdgeNotFoundError
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+class TestBalls:
+    def test_radius_zero_is_endpoints(self, k5):
+        assert ball_vertices(k5, 0, 1, 0) == {0, 1}
+
+    def test_radius_one_in_clique_is_everything(self, k5):
+        assert ball_vertices(k5, 0, 1, 1) == set(k5.vertices())
+
+    def test_path_radii(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert ball_vertices(g, 0, 1, 1) == {0, 1, 2}
+        assert ball_vertices(g, 0, 1, 2) == {0, 1, 2, 3}
+
+    def test_edge_ball_is_induced(self):
+        g = complete_graph(4)
+        g.add_edge(3, 9)
+        ball = edge_ball(g, 0, 1, 1)
+        assert ball.has_edge(2, 3)  # induced edges kept
+        assert not ball.has_vertex(9)
+
+
+class TestBounds:
+    def test_clique_exact_at_radius_one(self):
+        for n in (4, 5, 6, 7):
+            g = complete_graph(n)
+            assert kappa_lower_bound(g, 0, 1, radius=1) == n - 2
+            assert kappa_upper_bound(g, 0, 1, sweeps=1) == n - 2
+
+    def test_zero_sweeps_is_support(self, fig2_graph):
+        assert kappa_upper_bound(fig2_graph, "B", "C", sweeps=0) == 3
+
+    def test_sweeps_tighten(self, fig2_graph):
+        values = [
+            kappa_upper_bound(fig2_graph, "B", "C", sweeps=s) for s in range(4)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 2  # converged to kappa
+
+    def test_radius_tightens_lower_bound(self):
+        # A long "chain of diamonds" so the max core is far from the edge.
+        g = Graph()
+        for i in range(6):
+            a, b, c, d = 10 * i, 10 * i + 1, 10 * i + 2, 10 * (i + 1)
+            for x, y in [(a, b), (a, c), (b, c), (b, d), (c, d)]:
+                g.add_edge(x, y, exist_ok=True)
+        result = triangle_kcore_decomposition(g)
+        true = result.kappa_of(0, 1)
+        lows = [kappa_lower_bound(g, 0, 1, radius=r) for r in (1, 2, 4)]
+        assert lows == sorted(lows)
+        assert lows[-1] <= true
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_bracket_truth(self, seed):
+        g = erdos_renyi(35, 0.3, seed=seed)
+        result = triangle_kcore_decomposition(g)
+        rng = random.Random(seed)
+        edges = sorted(g.edges(), key=repr)
+        for u, v in rng.sample(edges, 10):
+            lo, hi = kappa_bounds(g, u, v, radius=2, sweeps=2)
+            assert lo <= result.kappa_of(u, v) <= hi
+
+    def test_large_budget_converges(self):
+        g = erdos_renyi(25, 0.35, seed=9)
+        result = triangle_kcore_decomposition(g)
+        for u, v in sorted(g.edges(), key=repr)[:10]:
+            lo, hi = kappa_bounds(g, u, v, radius=6, sweeps=6)
+            assert lo == hi == result.kappa_of(u, v)
+
+    def test_missing_edge_raises(self, k5):
+        with pytest.raises(EdgeNotFoundError):
+            kappa_lower_bound(k5, 0, 99)
+        with pytest.raises(EdgeNotFoundError):
+            kappa_upper_bound(k5, 0, 99)

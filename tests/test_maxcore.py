@@ -1,0 +1,74 @@
+"""Tests for the top-down maximal Triangle K-Core search."""
+
+import pytest
+
+from repro.core import (
+    erode_to_triangle_kcore,
+    level_subgraph,
+    max_triangle_kcore,
+    triangle_kcore_decomposition,
+)
+from repro.graph import Graph, complete_graph, erdos_renyi, planted_cliques
+
+
+class TestErosion:
+    def test_clique_levels(self):
+        g = complete_graph(5)
+        assert erode_to_triangle_kcore(g, 3).num_edges == 10
+        assert erode_to_triangle_kcore(g, 4).num_edges == 0
+
+    def test_level_zero_drops_isolated_vertices(self):
+        g = Graph(edges=[(0, 1)], vertices=[9])
+        eroded = erode_to_triangle_kcore(g, 0)
+        assert not eroded.has_vertex(9)
+        assert eroded.has_edge(0, 1)
+
+    def test_matches_level_subgraph(self):
+        g = erdos_renyi(35, 0.3, seed=4)
+        result = triangle_kcore_decomposition(g)
+        for k in range(result.max_kappa + 2):
+            eroded = erode_to_triangle_kcore(g, k)
+            expected = level_subgraph(g, result, k)
+            assert set(eroded.edges()) == set(expected.edges()), k
+
+    def test_precomputed_core_numbers_equivalent(self):
+        from repro.core import kcore_decomposition
+
+        g = erdos_renyi(35, 0.3, seed=5)
+        cores = kcore_decomposition(g)
+        for k in (1, 2, 3):
+            a = erode_to_triangle_kcore(g, k)
+            b = erode_to_triangle_kcore(g, k, core_numbers=cores)
+            assert a == b
+
+
+class TestMaxCore:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_full_decomposition(self, seed):
+        g = erdos_renyi(35, 0.25, seed=seed)
+        k, sub = max_triangle_kcore(g)
+        result = triangle_kcore_decomposition(g)
+        assert k == result.max_kappa
+        assert set(sub.edges()) == set(level_subgraph(g, result, k).edges())
+
+    def test_planted_clique_found(self):
+        planted = planted_cliques(200, [11], background_p=0.02, seed=6)
+        k, sub = max_triangle_kcore(planted.graph)
+        assert k == 9
+        assert set(planted.cliques[0].vertices) == set(sub.vertices())
+
+    def test_triangle_free_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        k, sub = max_triangle_kcore(g)
+        assert k == 0
+        assert sub.num_edges == 3
+
+    def test_empty_graph(self):
+        k, sub = max_triangle_kcore(Graph())
+        assert k == 0
+        assert sub.num_edges == 0
+
+    def test_isolated_vertices_only(self):
+        k, sub = max_triangle_kcore(Graph(vertices=[1, 2, 3]))
+        assert k == 0
+        assert sub.num_vertices == 0

@@ -1,0 +1,92 @@
+"""Unit tests for core-membership bookkeeping and Rule 1 recovery."""
+
+import pytest
+
+from repro.core import (
+    CoreMembership,
+    recover_membership_rule1,
+    triangle_kcore_decomposition,
+)
+from repro.graph import complete_graph, erdos_renyi
+
+
+class TestCoreMembership:
+    def test_add_del_is_in(self):
+        m = CoreMembership()
+        m.add_to_core((1, 2, 3), (1, 2))
+        assert m.is_in_core((1, 2, 3), (1, 2))
+        m.del_from_core((1, 2, 3), (1, 2))
+        assert not m.is_in_core((1, 2, 3), (1, 2))
+
+    def test_is_in_core_unknown_edge(self):
+        assert not CoreMembership().is_in_core((1, 2, 3), (1, 2))
+
+    def test_del_unknown_edge_is_noop(self):
+        CoreMembership().del_from_core((1, 2, 3), (9, 9))
+
+    def test_count_and_triangles_of(self):
+        m = CoreMembership()
+        m.add_to_core((1, 2, 3), (1, 2))
+        m.add_to_core((1, 2, 4), (1, 2))
+        assert m.count((1, 2)) == 2
+        assert m.triangles_of((1, 2)) == {(1, 2, 3), (1, 2, 4)}
+
+    def test_drop_edge(self):
+        m = CoreMembership()
+        m.add_to_core((1, 2, 3), (1, 2))
+        m.drop_edge((1, 2))
+        assert m.count((1, 2)) == 0
+
+    def test_copy_is_independent(self):
+        m = CoreMembership()
+        m.add_to_core((1, 2, 3), (1, 2))
+        clone = m.copy()
+        clone.del_from_core((1, 2, 3), (1, 2))
+        assert m.is_in_core((1, 2, 3), (1, 2))
+
+
+class TestMembershipInvariant:
+    """The bookkeeping left by Algorithm 1 must certify every kappa value."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_membership_size_equals_kappa(self, seed):
+        g = erdos_renyi(30, 0.3, seed=seed)
+        result = triangle_kcore_decomposition(g, store_membership=True)
+        assert result.membership is not None
+        for edge, kappa in result.kappa.items():
+            assert result.membership.count(edge) == kappa, edge
+
+    def test_membership_triangles_stay_in_level(self):
+        """Every triangle kept in an edge's core has all edges at >= kappa."""
+        g = erdos_renyi(30, 0.3, seed=41)
+        result = triangle_kcore_decomposition(g, store_membership=True)
+        from repro.graph.edge import triangle_edges
+
+        for edge, kappa in result.kappa.items():
+            for triangle in result.membership.triangles_of(edge):
+                for other in triangle_edges(triangle):
+                    assert result.kappa[other] >= kappa
+
+
+class TestRule1Recovery:
+    """Rule 1: the last kappa(e) triangles by process time are the core."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovered_counts_match_kappa(self, seed):
+        g = erdos_renyi(30, 0.3, seed=seed + 10)
+        result = triangle_kcore_decomposition(g)
+        recovered = recover_membership_rule1(g, result.kappa, result.order_index())
+        for edge, kappa in result.kappa.items():
+            assert recovered.count(edge) == kappa
+
+    def test_recovered_membership_is_valid_core(self):
+        """Recovered triangles satisfy the Theorem 1 level constraint."""
+        g = complete_graph(6)
+        result = triangle_kcore_decomposition(g)
+        recovered = recover_membership_rule1(g, result.kappa, result.order_index())
+        from repro.graph.edge import triangle_edges
+
+        for edge in result.kappa:
+            for triangle in recovered.triangles_of(edge):
+                for other in triangle_edges(triangle):
+                    assert result.kappa[other] >= result.kappa[edge]

@@ -1,0 +1,178 @@
+"""The paper's worked examples, asserted exactly.
+
+* Figure 1 — K-Core vs Triangle K-Core on minimal 5-vertex examples.
+* Figure 2 — Algorithm 1 walk-through (initial bounds, processing order
+  constraints, final kappa values).
+* Figure 3 — the dynamic update example (adding edge AC).
+* Figure 5 — the DN-Graph comparison graph (vertex A is covered by a
+  Triangle K-Core even though no DN-Graph covers it).
+* Section III — "an n-vertex clique is an n-vertex Triangle K-Core with
+  number n-2".
+* Claim 3 — kappa(e) equals the converged valid lambda(e).
+"""
+
+import pytest
+
+from repro.baselines import bitridn, is_valid_lambda, tridn
+from repro.core import (
+    DynamicTriangleKCore,
+    kappa_upper_bounds,
+    kcore_decomposition,
+    triangle_kcore_decomposition,
+)
+from repro.graph import Graph, complete_graph
+
+
+class TestFigure1:
+    """K-Core is a weak clique proxy; Triangle K-Core is much tighter."""
+
+    def test_minimal_2core_is_a_cycle_with_no_triangles(self):
+        cycle = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        core = kcore_decomposition(cycle)
+        assert all(value == 2 for value in core.values())
+        tkc = triangle_kcore_decomposition(cycle)
+        assert all(value == 0 for value in tkc.kappa.values())
+
+    def test_minimal_triangle_2core_is_nearly_a_clique(self):
+        """5 vertices, every edge in >= 2 triangles, fewer edges than K5.
+
+        The octahedron-like K5-minus-one-edge works: 9 edges (vs 10 for K5)
+        and every edge sits in at least 2 triangles.
+        """
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        tkc = triangle_kcore_decomposition(g)
+        assert all(value == 2 for value in tkc.kappa.values())
+        # Edge count strictly between the 2-core minimum (5) and K5 (10).
+        assert g.num_edges == 9
+
+
+class TestFigure2:
+    """The Algorithm 1 walk-through graph."""
+
+    def test_initial_bounds(self, fig2_graph):
+        bounds = kappa_upper_bounds(fig2_graph)
+        expected = {
+            ("A", "B"): 1,
+            ("A", "C"): 1,
+            ("B", "D"): 2,
+            ("B", "E"): 2,
+            ("C", "D"): 2,
+            ("C", "E"): 2,
+            ("D", "E"): 2,
+            ("B", "C"): 3,
+        }
+        assert bounds == expected
+
+    def test_final_kappa(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        assert result.kappa_of("A", "B") == 1
+        assert result.kappa_of("A", "C") == 1
+        for edge in (("B", "C"), ("B", "D"), ("B", "E"), ("C", "D"),
+                     ("C", "E"), ("D", "E")):
+            assert result.kappa_of(*edge) == 2, edge
+
+    def test_level1_edges_processed_before_level2(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        positions = {edge: i for i, edge in enumerate(result.processing_order)}
+        level1 = max(positions[("A", "B")], positions[("A", "C")])
+        level2 = min(
+            positions[edge]
+            for edge in positions
+            if result.kappa[edge] == 2
+        )
+        assert level1 < level2
+
+
+class TestFigure3:
+    """Dynamic update example: adding edge AC."""
+
+    def test_original_kappa(self, fig3_original_graph):
+        result = triangle_kcore_decomposition(fig3_original_graph)
+        expected = {
+            ("A", "B"): 0,
+            ("B", "C"): 0,
+            ("A", "E"): 1,
+            ("A", "F"): 1,
+            ("E", "F"): 1,
+            ("C", "D"): 1,
+            ("C", "E"): 1,
+            ("D", "E"): 1,
+        }
+        assert result.kappa == expected
+
+    def test_after_adding_ac(self, fig3_original_graph):
+        """Paper outcome: every edge ends at kappa 1 (AB and BC rise to 1;
+        AC settles at 1 after the AEC triangle processing)."""
+        maintainer = DynamicTriangleKCore(fig3_original_graph)
+        maintainer.add_edge("A", "C")
+        assert maintainer.kappa_of("A", "C") == 1
+        assert maintainer.kappa_of("A", "B") == 1
+        assert maintainer.kappa_of("B", "C") == 1
+        assert maintainer.kappa_of("A", "E") == 1
+        assert maintainer.kappa_of("C", "E") == 1
+        # And the whole state matches a fresh Algorithm 1 run.
+        fresh = triangle_kcore_decomposition(maintainer.graph).kappa
+        assert maintainer.kappa == fresh
+
+
+class TestFigure5:
+    """DN-Graph coverage gap: Triangle K-Cores cover every vertex."""
+
+    @pytest.fixture
+    def fig5_graph(self):
+        """BCDE is a dense module; A attaches to B and C only."""
+        g = complete_graph(0)
+        for u, v in [("B", "C"), ("B", "D"), ("B", "E"), ("C", "D"),
+                     ("C", "E"), ("D", "E"), ("A", "B"), ("A", "C")]:
+            g.add_edge(u, v)
+        return g
+
+    def test_every_edge_has_a_kappa(self, fig5_graph):
+        result = triangle_kcore_decomposition(fig5_graph)
+        assert set(result.kappa) == set(fig5_graph.edges())
+        # A's edges live in the ABC triangle: kappa 1.
+        assert result.kappa_of("A", "B") == 1
+        assert result.kappa_of("A", "C") == 1
+        # The BCDE K4 keeps kappa 2.
+        assert result.kappa_of("D", "E") == 2
+
+    def test_vertex_a_is_covered(self, fig5_graph):
+        result = triangle_kcore_decomposition(fig5_graph)
+        assert result.vertex_kappa()["A"] == 1
+
+
+class TestSectionIII:
+    def test_clique_equivalence(self):
+        """n-vertex clique == n-vertex Triangle K-Core with number n-2."""
+        for n in range(3, 9):
+            result = triangle_kcore_decomposition(complete_graph(n))
+            assert set(result.kappa.values()) == {n - 2}
+
+    def test_theorem1_on_fig2(self, fig2_graph):
+        """Every triangle in an edge's max core has side kappas >= kappa."""
+        result = triangle_kcore_decomposition(fig2_graph, store_membership=True)
+        from repro.graph.edge import triangle_edges
+
+        for edge, kappa in result.kappa.items():
+            for triangle in result.membership.triangles_of(edge):
+                for other in triangle_edges(triangle):
+                    assert result.kappa[other] >= kappa
+
+
+class TestClaim3:
+    """kappa(e) == valid lambda(e): DN-Graph estimators converge to kappa."""
+
+    def test_fig2(self, fig2_graph):
+        kappa = triangle_kcore_decomposition(fig2_graph).kappa
+        assert tridn(fig2_graph).lambda_ == kappa
+        assert bitridn(fig2_graph).lambda_ == kappa
+        assert is_valid_lambda(fig2_graph, kappa)
+
+    def test_kappa_is_always_valid_lambda(self):
+        from repro.graph import erdos_renyi
+
+        for seed in range(3):
+            g = erdos_renyi(30, 0.3, seed=seed)
+            kappa = triangle_kcore_decomposition(g).kappa
+            assert is_valid_lambda(g, kappa)

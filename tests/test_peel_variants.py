@@ -1,0 +1,39 @@
+"""The ablation peel variants must agree with the default implementation."""
+
+import pytest
+
+from repro.core import (
+    triangle_kcore_decomposition,
+    triangle_kcore_heap,
+    triangle_kcore_stored_triangles,
+)
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+@pytest.mark.parametrize(
+    "variant", [triangle_kcore_heap, triangle_kcore_stored_triangles]
+)
+class TestVariantEquivalence:
+    def test_empty(self, variant):
+        assert variant(Graph()).kappa == {}
+
+    def test_clique(self, variant):
+        assert variant(complete_graph(6)).kappa == (
+            triangle_kcore_decomposition(complete_graph(6)).kappa
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, variant, seed):
+        g = erdos_renyi(40, 0.25, seed=seed)
+        assert variant(g).kappa == triangle_kcore_decomposition(g).kappa
+
+    def test_processing_order_nondecreasing(self, variant):
+        g = erdos_renyi(40, 0.25, seed=7)
+        result = variant(g)
+        values = [result.kappa[e] for e in result.processing_order]
+        assert values == sorted(values)
+
+    def test_fig2(self, variant, fig2_graph):
+        result = variant(fig2_graph)
+        assert result.kappa_of("A", "B") == 1
+        assert result.kappa_of("D", "E") == 2

@@ -1,0 +1,99 @@
+"""Tests for result save/load."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    load_result,
+    save_result,
+    triangle_kcore_decomposition,
+)
+from repro.exceptions import DecompositionError
+from repro.graph import Graph, erdos_renyi
+
+
+class TestRoundtrip:
+    def test_random_graph(self, tmp_path):
+        g = erdos_renyi(40, 0.25, seed=2)
+        result = triangle_kcore_decomposition(g)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.kappa == result.kappa
+        assert back.processing_order == result.processing_order
+
+    def test_string_vertices(self, tmp_path):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        result = triangle_kcore_decomposition(g)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result(path).kappa == result.kappa
+
+    def test_empty_graph(self, tmp_path):
+        result = triangle_kcore_decomposition(Graph())
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result(path).kappa == {}
+
+    def test_file_is_plain_json(self, tmp_path):
+        g = Graph(edges=[(1, 2)])
+        path = tmp_path / "result.json"
+        save_result(triangle_kcore_decomposition(g), path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "triangle-kcore-result"
+        assert document["edges"] == [[1, 2, 0]]
+
+
+class TestErrors:
+    def test_unserializable_vertex(self, tmp_path):
+        g = Graph(edges=[((1, 2), (3, 4))])  # tuple vertices
+        result = triangle_kcore_decomposition(g)
+        with pytest.raises(DecompositionError):
+            save_result(result, tmp_path / "result.json")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(DecompositionError):
+            load_result(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(
+            '{"format": "triangle-kcore-result", "version": 99, "edges": []}'
+        )
+        with pytest.raises(DecompositionError):
+            load_result(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(
+            '{"format": "triangle-kcore-result", "version": 1, '
+            '"edges": [[1, 2]]}'
+        )
+        with pytest.raises(DecompositionError):
+            load_result(path)
+
+
+class TestStaleness:
+    def test_stale_maintainer_detected(self):
+        from repro.core import DynamicTriangleKCore
+        from repro.exceptions import StaleIndexError
+
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        maintainer = DynamicTriangleKCore(g, copy=False)
+        g.add_edge(0, 3)  # out-of-band mutation
+        with pytest.raises(StaleIndexError):
+            maintainer.add_edge(1, 3)
+        with pytest.raises(StaleIndexError):
+            maintainer.remove_edge(0, 1)
+
+    def test_copy_mode_immune_to_caller_mutations(self):
+        from repro.core import DynamicTriangleKCore
+
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        maintainer = DynamicTriangleKCore(g)  # copy=True default
+        g.add_edge(0, 3)
+        maintainer.add_edge(1, 3)  # fine: maintainer owns its copy
+        assert maintainer.kappa_of(1, 3) == 0

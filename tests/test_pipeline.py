@@ -1,0 +1,107 @@
+"""End-to-end pipeline tests: chaining the whole toolkit on one dataset."""
+
+import json
+import re
+
+import pytest
+
+from repro.core import (
+    CommunityHierarchy,
+    CommunityIndex,
+    DynamicTriangleKCore,
+    kappa_bounds,
+    load_result,
+    max_triangle_kcore,
+    save_result,
+    triangle_kcore_decomposition,
+)
+from repro.datasets import load
+from repro.viz import (
+    decomposition_report,
+    density_plot,
+    explorer_html,
+    render,
+)
+
+
+class TestKarateEndToEnd:
+    """One dataset through every major stage of the library."""
+
+    @pytest.fixture(scope="class")
+    def karate(self):
+        return load("karate")
+
+    def test_full_chain(self, karate, tmp_path):
+        graph = karate.graph
+
+        # 1. decompose + persist + reload
+        result = triangle_kcore_decomposition(graph)
+        path = tmp_path / "karate.json"
+        save_result(result, path)
+        reloaded = load_result(path)
+        assert reloaded.kappa == result.kappa
+
+        # 2. the densest structure agrees across three access paths
+        k_top, core = max_triangle_kcore(graph)
+        assert k_top == result.max_kappa
+        index = CommunityIndex(graph, reloaded)
+        hierarchy = CommunityHierarchy(graph, reloaded)
+        densest_leaf = hierarchy.densest_leaves()[0]
+        assert densest_leaf.level == k_top
+        assert densest_leaf.vertices == set(core.vertices())
+
+        # 3. local bounds agree with the global answer
+        some_edge = next(iter(core.edges()))
+        lower, upper = kappa_bounds(graph, *some_edge, radius=2, sweeps=2)
+        assert lower <= result.kappa[some_edge] <= upper
+
+        # 4. visualization artifacts build from the same result
+        plot = density_plot(graph, reloaded, title="karate")
+        assert render(plot)
+        html = decomposition_report(graph, reloaded).render()
+        assert "<svg" in html
+        explorer = explorer_html(plot)
+        payload = json.loads(
+            re.search(r"const PLOT_DATA = (\{.*?\});", explorer).group(1)
+        )
+        assert len(payload["order"]) == graph.num_vertices
+
+        # 5. dynamic edits keep everything consistent
+        maintainer = DynamicTriangleKCore(graph)
+        edge = sorted(graph.edges(), key=repr)[0]
+        maintainer.remove_edge(*edge)
+        maintainer.add_edge(*edge)
+        assert maintainer.kappa == result.kappa
+
+
+class TestPerformanceSmoke:
+    """Generous wall-clock budgets to catch order-of-magnitude regressions."""
+
+    def test_decomposition_speed_floor(self):
+        import time
+
+        graph = load("wiki").graph  # ~30k edges
+        start = time.perf_counter()
+        triangle_kcore_decomposition(graph)
+        assert time.perf_counter() - start < 10.0
+
+    def test_dynamic_update_speed_floor(self):
+        import time
+
+        graph = load("epinions").graph
+        maintainer = DynamicTriangleKCore(graph)
+        from repro.graph import random_edge_sample, random_non_edges
+
+        removed = random_edge_sample(graph, 0.005, seed=1)
+        added = random_non_edges(graph, len(removed), seed=2)
+        start = time.perf_counter()
+        maintainer.apply(added=added, removed=removed)
+        assert time.perf_counter() - start < 10.0
+
+    def test_community_index_speed_floor(self):
+        import time
+
+        graph = load("ppi").graph
+        start = time.perf_counter()
+        CommunityIndex(graph)
+        assert time.perf_counter() - start < 10.0

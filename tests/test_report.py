@@ -1,0 +1,92 @@
+"""Tests for the HTML report builder."""
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.graph import complete_graph
+from repro.viz import (
+    HtmlReport,
+    decomposition_report,
+    density_plot,
+    dual_view_plots,
+)
+
+
+class TestHtmlReport:
+    def test_minimal_document(self):
+        report = HtmlReport("Title & Co")
+        html = report.render()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Title &amp; Co" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_paragraph_escaping(self):
+        report = HtmlReport("t")
+        report.add_paragraph("<script>alert(1)</script>")
+        assert "<script>" not in report.render()
+        assert "&lt;script&gt;" in report.render()
+
+    def test_heading_levels_clamped(self):
+        report = HtmlReport("t")
+        report.add_heading("deep", level=9)
+        report.add_heading("shallow", level=0)
+        html = report.render()
+        assert "<h6>deep</h6>" in html
+        assert "<h1>shallow</h1>" in html
+
+    def test_table(self):
+        report = HtmlReport("t")
+        report.add_table(("a", "b"), [(1, 2), (3, 4)])
+        html = report.render()
+        assert "<th>a</th>" in html
+        assert "<td>4</td>" in html
+
+    def test_code_block(self):
+        report = HtmlReport("t")
+        report.add_code("x < y")
+        assert "x &lt; y" in report.render()
+
+    def test_plot_embedding(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        report = HtmlReport("t")
+        report.add_plot(density_plot(k5, result), caption="the clique")
+        html = report.render()
+        assert "<svg" in html
+        assert "the clique" in html
+
+    def test_dual_view_embedding(self):
+        g = complete_graph(4)
+        plots = dual_view_plots(g, added=[(0, 9), (1, 9)])
+        report = HtmlReport("t")
+        report.add_dual_view(plots)
+        assert report.render().count("<svg") == 1  # stacked into one svg
+
+    def test_save(self, tmp_path, k5):
+        report = HtmlReport("saved")
+        report.add_paragraph("content")
+        path = tmp_path / "report.html"
+        report.save(str(path))
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestDecompositionReport:
+    def test_sections_present(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        html = decomposition_report(k5, result, title="K5").render()
+        for section in ("Graph", "Kappa histogram", "Density plot",
+                        "Densest communities"):
+            assert section in html
+        assert "<svg" in html
+
+    def test_community_rows_capped(self):
+        g = complete_graph(4)
+        for i in range(6):
+            base = 10 * (i + 1)
+            for u in range(base, base + 4):
+                for v in range(u + 1, base + 4):
+                    g.add_edge(u, v)
+        result = triangle_kcore_decomposition(g)
+        html = decomposition_report(g, result, max_communities=2).render()
+        # rank column: only ranks 1 and 2 rendered
+        assert "<td>2</td>" in html
+        assert "<td>3</td>" not in html.split("Densest communities")[1]

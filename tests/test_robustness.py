@@ -1,0 +1,101 @@
+"""Tests for perturbation/robustness analysis."""
+
+import pytest
+
+from repro.analysis import perturb_edges, robustness_report
+from repro.graph import Graph, complete_graph, planted_cliques
+
+
+class TestPerturbEdges:
+    def test_delete_fraction(self):
+        g = complete_graph(10)  # 45 edges
+        perturbed = perturb_edges(g, 0.2, seed=1)
+        assert perturbed.num_edges == 36
+        assert g.num_edges == 45  # original untouched
+
+    def test_rewire_preserves_edge_count(self):
+        g = complete_graph(6)
+        # K6 is complete, so rewiring can't reinsert; use a sparse graph.
+        g = planted_cliques(40, [6], background_p=0.05, seed=2).graph
+        before = g.num_edges
+        perturbed = perturb_edges(g, 0.2, seed=3, mode="rewire")
+        assert perturbed.num_edges == before
+
+    def test_zero_fraction_is_identity(self):
+        g = complete_graph(5)
+        assert perturb_edges(g, 0.0, seed=4) == g
+
+    def test_full_fraction_removes_everything(self):
+        g = complete_graph(5)
+        assert perturb_edges(g, 1.0, seed=5).num_edges == 0
+
+    def test_deterministic(self):
+        g = planted_cliques(30, [5], background_p=0.1, seed=6).graph
+        assert perturb_edges(g, 0.3, seed=7) == perturb_edges(g, 0.3, seed=7)
+
+    def test_invalid_arguments(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            perturb_edges(g, 1.5)
+        with pytest.raises(ValueError):
+            perturb_edges(g, 0.5, mode="scramble")
+
+
+class TestRobustnessReport:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        return planted_cliques(120, [10], background_p=0.02, seed=8).graph
+
+    def test_baseline_is_the_planted_clique(self, planted):
+        report = robustness_report(
+            planted, fractions=(0.05,), trials_per_fraction=2, seed=9
+        )
+        assert report.baseline_max_kappa == 8
+        assert set(range(10)) == set(report.baseline_core)
+
+    def test_density_retention_decreases_with_noise(self, planted):
+        report = robustness_report(
+            planted,
+            fractions=(0.02, 0.3),
+            trials_per_fraction=3,
+            seed=10,
+        )
+        assert report.mean_core_kappa_after(0.02) > (
+            report.mean_core_kappa_after(0.3)
+        )
+
+    def test_breakdown_fraction_monotone_semantics(self, planted):
+        report = robustness_report(
+            planted,
+            fractions=(0.02, 0.3, 0.6),
+            trials_per_fraction=2,
+            seed=11,
+        )
+        breakdown = report.breakdown_fraction(retention_threshold=0.5)
+        assert breakdown in (0.02, 0.3, 0.6, 1.0)
+        # Light noise cannot already be past the breakdown for a clique
+        # that only loses ~2% of edges.
+        assert breakdown > 0.02
+
+    def test_by_fraction_grouping(self, planted):
+        report = robustness_report(
+            planted, fractions=(0.05, 0.1), trials_per_fraction=2, seed=12
+        )
+        grouped = report.by_fraction()
+        assert list(grouped) == [0.05, 0.1]
+        assert all(len(trials) == 2 for trials in grouped.values())
+
+    def test_unknown_fraction_query(self, planted):
+        report = robustness_report(
+            planted, fractions=(0.05,), trials_per_fraction=1, seed=13
+        )
+        with pytest.raises(ValueError):
+            report.mean_core_overlap(0.5)
+
+    def test_triangle_free_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        report = robustness_report(
+            g, fractions=(0.25,), trials_per_fraction=1, seed=14
+        )
+        assert report.baseline_max_kappa == 0
+        assert report.breakdown_fraction() == 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for snapshot streams and edge/vertex classification."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    SnapshotStream,
+    apply_delta,
+    classify_edges,
+    classify_vertices,
+    union_graph,
+)
+
+
+@pytest.fixture
+def small_stream():
+    g0 = Graph(edges=[(1, 2)])
+    g1 = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+    g2 = Graph(edges=[(2, 3), (1, 3)], vertices=[9])
+    return SnapshotStream([g0, g1, g2])
+
+
+class TestSnapshotStream:
+    def test_requires_snapshots(self):
+        with pytest.raises(ValueError):
+            SnapshotStream([])
+
+    def test_len_and_indexing(self, small_stream):
+        assert len(small_stream) == 3
+        assert small_stream[0].num_edges == 1
+
+    def test_snapshots_are_copies(self):
+        g = Graph(edges=[(1, 2)])
+        stream = SnapshotStream([g])
+        g.add_edge(2, 3)
+        assert stream[0].num_edges == 1
+
+    def test_delta_added_and_removed(self, small_stream):
+        d1 = small_stream.delta(1)
+        assert d1.added_edges == ((1, 3), (2, 3))
+        assert d1.removed_edges == ()
+        d2 = small_stream.delta(2)
+        assert d2.removed_edges == ((1, 2),)
+        assert d2.new_vertices == (9,)
+
+    def test_delta_zero_uses_empty_predecessor(self, small_stream):
+        d0 = small_stream.delta(0)
+        assert d0.added_edges == ((1, 2),)
+        assert set(d0.new_vertices) == {1, 2}
+
+    def test_delta_out_of_range(self, small_stream):
+        with pytest.raises(IndexError):
+            small_stream.delta(3)
+
+    def test_pairs(self, small_stream):
+        pairs = list(small_stream.pairs())
+        assert len(pairs) == 2
+        old, new, delta = pairs[0]
+        assert old.num_edges == 1 and new.num_edges == 3
+        assert not delta.is_empty
+
+    def test_apply_delta_replays_stream(self, small_stream):
+        current = small_stream[0]
+        for index in range(1, len(small_stream)):
+            current = apply_delta(current, small_stream.delta(index))
+            assert set(current.edges()) == set(small_stream[index].edges())
+
+
+class TestClassification:
+    def test_union_graph(self):
+        old = Graph(edges=[(1, 2)])
+        new = Graph(edges=[(2, 3)])
+        merged = union_graph(old, new)
+        assert merged.num_edges == 2
+        assert merged.num_vertices == 3
+
+    def test_classify_edges(self):
+        old = Graph(edges=[(1, 2)])
+        new = Graph(edges=[(1, 2), (2, 3)])
+        labels = classify_edges(old, new)
+        assert labels[(1, 2)] == "original"
+        assert labels[(2, 3)] == "new"
+
+    def test_removed_edges_stay_original(self):
+        old = Graph(edges=[(1, 2), (2, 3)])
+        new = Graph(edges=[(2, 3)])
+        labels = classify_edges(old, new)
+        assert labels[(1, 2)] == "original"
+
+    def test_classify_vertices(self):
+        old = Graph(edges=[(1, 2)])
+        new = Graph(edges=[(1, 2), (3, 4)])
+        labels = classify_vertices(old, new)
+        assert labels[1] == "original"
+        assert labels[3] == "new"

@@ -1,0 +1,130 @@
+"""Stateful property testing of the dynamic maintainer.
+
+A hypothesis rule-based state machine drives a
+:class:`~repro.core.dynamic.DynamicTriangleKCore` (in both triangle-store
+modes) through arbitrary interleavings of edge insertions, deletions,
+vertex removals and batch applications, checking after every step that:
+
+* the kappa map equals a fresh Algorithm 1 run (the core guarantee);
+* the stored triangle index, when enabled, stays consistent;
+* queries (max_kappa, result snapshots) agree with the ground truth.
+
+This subsumes hundreds of hand-written interleaving tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+from repro.graph import Graph
+
+VERTICES = list(range(8))
+
+
+class DynamicMaintainerMachine(RuleBasedStateMachine):
+    """Random walks over the maintainer's write API."""
+
+    def __init__(self):
+        super().__init__()
+        self.maintainer = DynamicTriangleKCore(
+            Graph(vertices=VERTICES), copy=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # rules
+    # ------------------------------------------------------------------ #
+
+    @rule(u=st.sampled_from(VERTICES), v=st.sampled_from(VERTICES))
+    def toggle_edge(self, u, v):
+        if u == v:
+            return
+        if self.maintainer.graph.has_edge(u, v):
+            self.maintainer.remove_edge(u, v)
+        else:
+            self.maintainer.add_edge(u, v)
+
+    @rule(vertex=st.sampled_from(VERTICES))
+    def remove_and_restore_vertex(self, vertex):
+        if not self.maintainer.graph.has_vertex(vertex):
+            self.maintainer.add_vertex(vertex)
+            return
+        self.maintainer.remove_vertex(vertex)
+        self.maintainer.add_vertex(vertex)
+
+    @rule(
+        pairs=st.lists(
+            st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES)),
+            max_size=5,
+        ),
+        strategy=st.sampled_from(["incremental", "recompute", "auto"]),
+    )
+    def batch_apply(self, pairs, strategy):
+        graph = self.maintainer.graph
+        added = []
+        removed = []
+        seen = set()
+        for u, v in pairs:
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            if graph.has_edge(u, v):
+                removed.append((u, v))
+            elif graph.has_vertex(u) and graph.has_vertex(v):
+                added.append((u, v))
+        self.maintainer.apply(added=added, removed=removed, strategy=strategy)
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+
+    @invariant()
+    def kappa_matches_fresh_decomposition(self):
+        expected = triangle_kcore_decomposition(self.maintainer.graph).kappa
+        assert self.maintainer.kappa == expected
+
+    @invariant()
+    def max_kappa_agrees(self):
+        values = list(self.maintainer.kappa.values())
+        assert self.maintainer.max_kappa == (max(values) if values else 0)
+
+    @invariant()
+    def result_snapshot_consistent(self):
+        result = self.maintainer.result()
+        assert result.kappa == self.maintainer.kappa
+
+
+class StoredModeMachine(DynamicMaintainerMachine):
+    """Same walk with the triangle store enabled."""
+
+    def __init__(self):
+        RuleBasedStateMachine.__init__(self)
+        self.maintainer = DynamicTriangleKCore(
+            Graph(vertices=VERTICES), copy=False, store_triangles=True
+        )
+
+    @invariant()
+    def store_is_consistent(self):
+        assert self.maintainer._store.is_consistent()
+
+
+TestDynamicMaintainerMachine = DynamicMaintainerMachine.TestCase
+TestDynamicMaintainerMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestStoredModeMachine = StoredModeMachine.TestCase
+TestStoredModeMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,113 @@
+"""Tests for sliding-window density monitoring."""
+
+import random
+
+import pytest
+
+from repro.analysis import SlidingWindowDensity
+from repro.core import triangle_kcore_decomposition
+from repro.exceptions import ReproError
+from repro.graph import Graph
+
+
+class TestWindowMechanics:
+    def test_triangle_forms_and_expires(self):
+        monitor = SlidingWindowDensity(window=10)
+        monitor.observe(0, 1, 0)
+        monitor.observe(1, 2, 1)
+        monitor.observe(0, 2, 2)
+        assert monitor.max_kappa == 1
+        expired = monitor.advance_to(11)
+        assert expired == 2  # edges at t=0,1 are out; t=2 survives
+        assert monitor.max_kappa == 0
+        assert monitor.num_edges == 1
+
+    def test_refresh_extends_lifetime(self):
+        monitor = SlidingWindowDensity(window=10)
+        monitor.observe(0, 1, 0)
+        monitor.observe(1, 2, 0)
+        monitor.observe(0, 2, 0)
+        monitor.observe(0, 1, 9)  # refresh one edge
+        monitor.advance_to(15)
+        assert monitor.num_edges == 1
+        assert monitor.graph.has_edge(0, 1)
+
+    def test_out_of_order_rejected(self):
+        monitor = SlidingWindowDensity(window=5)
+        monitor.observe(0, 1, 10)
+        with pytest.raises(ReproError):
+            monitor.observe(1, 2, 3)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDensity(window=0)
+
+    def test_repeated_observation_same_timestamp(self):
+        monitor = SlidingWindowDensity(window=5)
+        monitor.observe(0, 1, 0)
+        monitor.observe(0, 1, 0)
+        assert monitor.num_edges == 1
+
+
+class TestQueries:
+    def test_kappa_of_live_edge(self):
+        monitor = SlidingWindowDensity(window=100)
+        for t, (u, v) in enumerate([(0, 1), (1, 2), (0, 2), (2, 3)]):
+            monitor.observe(u, v, t)
+        assert monitor.kappa_of(0, 1) == 1
+        assert monitor.kappa_of(2, 3) == 0
+
+    def test_densest_community(self):
+        monitor = SlidingWindowDensity(window=100)
+        t = 0
+        for u in range(5):
+            for v in range(u + 1, 5):
+                monitor.observe(u, v, t)
+                t += 1
+        level, members = monitor.densest_community()
+        assert level == 3
+        assert members == set(range(5))
+
+    def test_densest_community_empty(self):
+        monitor = SlidingWindowDensity(window=5)
+        monitor.observe(0, 1, 0)
+        assert monitor.densest_community() == (0, set())
+
+    def test_alert_threshold(self):
+        monitor = SlidingWindowDensity(window=100)
+        t = 0
+        for u in range(4):
+            for v in range(u + 1, 4):
+                monitor.observe(u, v, t)
+                t += 1
+        assert monitor.alert_when(2)       # K4 formed
+        assert not monitor.alert_when(3)
+
+
+class TestEquivalenceWithStatic:
+    @pytest.mark.parametrize("store_triangles", [False, True])
+    def test_window_state_matches_fresh_decomposition(self, store_triangles):
+        rng = random.Random(3)
+        monitor = SlidingWindowDensity(
+            window=25, store_triangles=store_triangles
+        )
+        events = []
+        for t in range(120):
+            u, v = rng.sample(range(10), 2)
+            monitor.observe(u, v, t)
+            events.append((u, v, t))
+        # Rebuild the expected window graph from scratch.
+        expected = Graph()
+        horizon = monitor.now - monitor.window
+        latest = {}
+        from repro.graph import canonical_edge
+
+        for u, v, t in events:
+            latest[canonical_edge(u, v)] = t
+        for (u, v), t in latest.items():
+            if t > horizon:
+                expected.add_edge(u, v, exist_ok=True)
+        assert set(monitor.graph.edges()) == set(expected.edges())
+        assert monitor._maintainer.kappa == (
+            triangle_kcore_decomposition(expected).kappa
+        )

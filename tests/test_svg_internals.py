@@ -1,0 +1,91 @@
+"""Focused tests for the SVG renderer internals."""
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.graph import Graph, complete_graph
+from repro.viz import density_plot, density_plot_svg, graph_drawing_svg
+from repro.viz.density_plot import DensityPlot
+
+
+class TestDensityPlotSvg:
+    def test_empty_plot_renders(self):
+        svg = density_plot_svg(DensityPlot(order=[], heights=[], title="empty"))
+        assert svg.startswith("<svg")
+        assert "empty" in svg
+
+    def test_zero_heights_draw_no_bars(self):
+        plot = DensityPlot(order=[1, 2, 3], heights=[0, 0, 0])
+        svg = density_plot_svg(plot)
+        # Only the background rect, no bar rects.
+        assert svg.count("<rect") == 1
+
+    def test_title_escaped(self):
+        plot = DensityPlot(order=[1], heights=[3], title='<b>&"x"')
+        svg = density_plot_svg(plot)
+        assert "<b>" not in svg
+        assert "&amp;" in svg
+
+    def test_axis_ticks_cover_range(self):
+        plot = DensityPlot(order=list(range(4)), heights=[0, 5, 10, 15])
+        svg = density_plot_svg(plot)
+        assert ">0<" in svg
+        assert ">15<" in svg
+
+    def test_marker_label_rendered(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        plot = density_plot(k5, result)
+        plot.add_marker(plot.order[:3], label="the &clique", shape="ellipse")
+        svg = density_plot_svg(plot)
+        assert "the &amp;clique" in svg
+        assert "<ellipse" in svg
+
+    def test_marker_with_absent_vertices_skipped(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        plot = density_plot(k5, result)
+        plot.add_marker(["ghost1", "ghost2"], label="nowhere")
+        svg = density_plot_svg(plot)  # must not raise
+        assert "nowhere" not in svg
+
+    def test_vertex_count_caption(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        svg = density_plot_svg(density_plot(k5, result))
+        assert "5 vertices" in svg
+
+
+class TestGraphDrawingSvg:
+    def test_vertex_labels_escaped(self):
+        g = Graph(edges=[("a<b", "c&d")])
+        svg = graph_drawing_svg(g)
+        assert "a&lt;b" in svg
+        assert "c&amp;d" in svg
+
+    def test_vertex_colors_applied(self):
+        g = complete_graph(3)
+        svg = graph_drawing_svg(g, vertex_colors={0: "#ff0000"})
+        assert "#ff0000" in svg
+
+    def test_empty_graph(self):
+        svg = graph_drawing_svg(Graph())
+        assert svg.startswith("<svg")
+        assert "<circle" not in svg
+
+
+class TestAsciiInternals:
+    def test_sparkline_max_pooling_preserves_peaks(self):
+        from repro.viz import sparkline
+
+        # A narrow spike must survive downsampling to few columns.
+        heights = [0] * 50 + [10] + [0] * 49
+        plot = DensityPlot(order=list(range(100)), heights=heights)
+        line = sparkline(plot, width=10)
+        assert "█" in line
+
+    def test_render_marker_summary_line(self, k5):
+        from repro.viz import render
+
+        result = triangle_kcore_decomposition(k5)
+        plot = density_plot(k5, result)
+        plot.add_marker(plot.order[:2], label="pair", shape="rect")
+        text = render(plot)
+        assert "marker[rect] pair" in text

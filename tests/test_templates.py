@@ -1,0 +1,283 @@
+"""Tests for template pattern specs and the Algorithm 4 detector."""
+
+import pytest
+
+from repro.exceptions import TemplateError
+from repro.graph import Graph, complete_graph
+from repro.templates import (
+    BRIDGE,
+    BUILTIN_TEMPLATES,
+    NEW,
+    NEW_FORM,
+    NEW_JOIN,
+    ORIGINAL,
+    Labeling,
+    TemplateSpec,
+    detect_on_snapshots,
+    detect_template_cliques,
+    labeling_from_partition,
+    labeling_from_snapshots,
+    no_possible_triangles,
+)
+
+
+def clique_edges(members):
+    return [(u, v) for i, u in enumerate(members) for v in members[i + 1 :]]
+
+
+@pytest.fixture
+def new_form_snapshots():
+    """Five original vertices get fully connected by new edges."""
+    old = Graph(vertices="ABCDE")
+    old.add_edge("A", "X")
+    old.add_edge("B", "X")
+    new = old.copy()
+    for u, v in clique_edges("ABCDE"):
+        new.add_edge(u, v)
+    return old, new
+
+
+@pytest.fixture
+def bridge_snapshots():
+    """K3 {A,B,C} and K2 {D,E} merge into a 5-clique."""
+    old = Graph(edges=clique_edges("ABC") + clique_edges("DE"))
+    new = old.copy()
+    for u in "ABC":
+        for v in "DE":
+            new.add_edge(u, v)
+    return old, new
+
+
+@pytest.fixture
+def new_join_snapshots():
+    """K3 {D,E,F} joined by new vertices A,B,C into a 6-clique."""
+    old = Graph(edges=clique_edges("DEF"))
+    new = old.copy()
+    for u, v in clique_edges("ABCDEF"):
+        if not new.has_edge(u, v):
+            new.add_edge(u, v)
+    return old, new
+
+
+class TestLabeling:
+    def test_defaults_to_original(self):
+        labeling = Labeling()
+        assert labeling.edge_label(1, 2) == ORIGINAL
+        assert labeling.vertex_label(1) == ORIGINAL
+
+    def test_from_snapshots(self):
+        old = Graph(edges=[(1, 2)])
+        new = Graph(edges=[(1, 2), (2, 3)])
+        labeling = labeling_from_snapshots(old, new)
+        assert labeling.edge_label(1, 2) == ORIGINAL
+        assert labeling.edge_label(3, 2) == NEW
+        assert labeling.vertex_label(3) == NEW
+
+    def test_view_alignment(self):
+        labeling = Labeling(edge_labels={(1, 2): NEW})
+        view = labeling.view((1, 2, 3))
+        assert view.edge_labels == (NEW, ORIGINAL, ORIGINAL)
+        assert view.count_edges(NEW) == 1
+        assert view.count_vertices(ORIGINAL) == 3
+
+    def test_from_partition(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        labeling = labeling_from_partition(g, {1: "a", 2: "a", 3: "b"})
+        assert labeling.edge_label(1, 2) == ORIGINAL
+        assert labeling.edge_label(2, 3) == NEW
+
+    def test_partition_must_cover(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(TemplateError):
+            labeling_from_partition(g, {1: "a"})
+
+
+class TestBuiltinPredicates:
+    def test_new_form_characteristic(self):
+        labeling = Labeling(
+            edge_labels={(1, 2): NEW, (1, 3): NEW, (2, 3): NEW}
+        )
+        assert NEW_FORM.characteristic(labeling.view((1, 2, 3)))
+
+    def test_new_form_rejects_new_vertex(self):
+        labeling = Labeling(
+            edge_labels={(1, 2): NEW, (1, 3): NEW, (2, 3): NEW},
+            vertex_labels={3: NEW},
+        )
+        assert not NEW_FORM.characteristic(labeling.view((1, 2, 3)))
+
+    def test_new_form_has_no_possible_triangles(self):
+        assert NEW_FORM.possible is no_possible_triangles
+
+    def test_bridge_characteristic(self):
+        labeling = Labeling(edge_labels={(1, 2): NEW, (1, 3): NEW})
+        assert BRIDGE.characteristic(labeling.view((1, 2, 3)))
+
+    def test_bridge_possible_all_original(self):
+        labeling = Labeling()
+        assert BRIDGE.possible(labeling.view((1, 2, 3)))
+
+    def test_new_join_characteristic(self):
+        labeling = Labeling(
+            edge_labels={(1, 3): NEW, (2, 3): NEW},
+            vertex_labels={3: NEW},
+        )
+        assert NEW_JOIN.characteristic(labeling.view((1, 2, 3)))
+
+    def test_new_join_possible_modes(self):
+        all_new = Labeling(
+            edge_labels={(1, 2): NEW, (1, 3): NEW, (2, 3): NEW}
+        )
+        assert NEW_JOIN.possible(all_new.view((1, 2, 3)))
+        all_original = Labeling()
+        assert NEW_JOIN.possible(all_original.view((1, 2, 3)))
+        mixed = Labeling(edge_labels={(1, 2): NEW})
+        assert not NEW_JOIN.possible(mixed.view((1, 2, 3)))
+
+    def test_builtin_registry(self):
+        assert set(BUILTIN_TEMPLATES) == {
+            "new_form", "bridge", "new_join", "stable", "densifying",
+        }
+
+
+class TestDetector:
+    def test_new_form_end_to_end(self, new_form_snapshots):
+        detection = detect_on_snapshots(*new_form_snapshots, NEW_FORM)
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set("ABCDE")
+        assert k == 3
+        assert detection.max_clique_size_estimate == 5
+
+    def test_bridge_end_to_end(self, bridge_snapshots):
+        detection = detect_on_snapshots(*bridge_snapshots, BRIDGE)
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set("ABCDE")
+        assert k == 3
+
+    def test_new_join_end_to_end(self, new_join_snapshots):
+        detection = detect_on_snapshots(*new_join_snapshots, NEW_JOIN)
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set("ABCDEF")
+        assert k == 4
+
+    def test_nonspecial_edges_scored_zero(self, new_form_snapshots):
+        detection = detect_on_snapshots(*new_form_snapshots, NEW_FORM)
+        assert detection.scores[("A", "X")] == 0
+        assert detection.scores[("A", "B")] == 3 + 2
+
+    def test_no_matches_yields_empty_detection(self):
+        old = complete_graph(4)
+        detection = detect_on_snapshots(old, old.copy(), NEW_FORM)
+        assert detection.special_edges == set()
+        assert detection.max_clique_size_estimate == 0
+        assert list(detection.densest_cliques()) == []
+
+    def test_plot_has_arena_vertices(self, new_form_snapshots):
+        detection = detect_on_snapshots(*new_form_snapshots, NEW_FORM)
+        plot = detection.plot()
+        assert len(plot.order) == detection.arena.num_vertices
+        assert plot.max_height == 5
+
+    def test_bridge_possible_triangles_recorded(self):
+        """The paper's Fig 4(b): the all-original triangle BCD inside a
+        bridge clique is a *possible* triangle.  In a full merge its edges
+        are also covered by characteristic triangles, so the possible rule
+        is definitional for Bridge (the triangle is recorded, the edge set
+        does not change) — unlike New Join, where it is load-bearing."""
+        old = Graph(edges=clique_edges("BCD") + clique_edges("AE"))
+        new = old.copy()
+        for u in "AE":
+            for v in "BCD":
+                new.add_edge(u, v)
+        detection = detect_on_snapshots(old, new, BRIDGE)
+        assert ("B", "C", "D") in detection.possible_triangles
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set("ABCDE")
+        assert k == 3
+
+    def test_new_join_needs_all_new_possible_triangles(self):
+        """For New Join, edges among the joining (new) vertices are covered
+        only by the all-new possible triangles — dropping the possible rule
+        shrinks the detected clique estimate (Fig 4(c)'s triangle ABC)."""
+        old = Graph(edges=clique_edges("DEF"))
+        new = old.copy()
+        for u, v in clique_edges("ABCDEF"):
+            if not new.has_edge(u, v):
+                new.add_edge(u, v)
+        crippled = TemplateSpec(
+            name="new-join-no-possible",
+            characteristic=NEW_JOIN.characteristic,
+            possible=no_possible_triangles,
+        )
+        full = detect_on_snapshots(old, new, NEW_JOIN)
+        partial = detect_on_snapshots(old, new, crippled)
+        assert full.max_clique_size_estimate == 6
+        assert partial.max_clique_size_estimate < 6
+        assert ("A", "B") in full.special_edges
+        assert ("A", "B") not in partial.special_edges
+
+    def test_static_partition_bridge(self):
+        """The PPI-style static variant: inter-complex edges are 'new'."""
+        g = Graph()
+        for u, v in clique_edges(["a1", "a2", "a3"]):
+            g.add_edge(u, v)
+        for u, v in clique_edges(["b1", "b2", "b3"]):
+            g.add_edge(u, v)
+        # a1 bridges into complex b.
+        for v in ("b1", "b2", "b3"):
+            g.add_edge("a1", v)
+        partition = {v: v[0] for v in g.vertices()}
+        labeling = labeling_from_partition(g, partition)
+        detection = detect_template_cliques(g, labeling, BRIDGE)
+        k, vertices = next(detection.densest_cliques())
+        assert "a1" in vertices
+        assert {"b1", "b2", "b3"} <= vertices
+
+
+class TestExtraBuiltins:
+    def test_stable_detects_persistent_clique(self):
+        old = Graph(edges=clique_edges("ABCDE"))
+        new = old.copy()
+        new.add_edge("A", "X")
+        from repro.templates import STABLE
+
+        detection = detect_on_snapshots(old, new, STABLE)
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set("ABCDE")
+        assert k == 3
+
+    def test_stable_ignores_new_structure(self):
+        old = Graph(vertices="ABCDE")
+        old.add_edge("A", "X")
+        new = old.copy()
+        for u, v in clique_edges("ABCDE"):
+            new.add_edge(u, v)
+        from repro.templates import STABLE
+
+        detection = detect_on_snapshots(old, new, STABLE)
+        assert detection.max_clique_size_estimate == 0
+
+    def test_densifying_detects_wedge_closures(self):
+        """A K5 missing two edges in 2003 gets them closed in 2004."""
+        members = "ABCDE"
+        old = Graph(edges=clique_edges(members))
+        old.remove_edge("A", "B")
+        old.remove_edge("C", "D")
+        new = Graph(edges=clique_edges(members))
+        from repro.templates import DENSIFYING
+
+        detection = detect_on_snapshots(old, new, DENSIFYING)
+        k, vertices = next(detection.densest_cliques())
+        assert vertices == set(members)
+        assert k == 3  # the completed 5-clique
+
+    def test_densifying_ignores_pure_new_cliques(self):
+        old = Graph(vertices="ABC")
+        old.add_edge("A", "X")
+        new = old.copy()
+        for u, v in clique_edges("ABC"):
+            new.add_edge(u, v)
+        from repro.templates import DENSIFYING
+
+        detection = detect_on_snapshots(old, new, DENSIFYING)
+        assert detection.characteristic_triangles == []

@@ -1,0 +1,123 @@
+"""Tests for community evolution tracking."""
+
+import pytest
+
+from repro.analysis import (
+    TrackedCommunity,
+    Transition,
+    snapshot_communities,
+    track_communities,
+)
+from repro.graph import Graph, SnapshotStream, complete_graph
+
+
+def clique_edges(members):
+    return [(u, v) for i, u in enumerate(members) for v in members[i + 1 :]]
+
+
+def graph_of(*cliques, extra=()):
+    g = Graph()
+    for members in cliques:
+        for u, v in clique_edges(members):
+            g.add_edge(u, v, exist_ok=True)
+    for u, v in extra:
+        g.add_edge(u, v, exist_ok=True)
+    return g
+
+
+class TestSnapshotCommunities:
+    def test_finds_planted_cliques(self):
+        g = graph_of(list(range(8)), list(range(100, 106)))
+        communities = snapshot_communities(g, 0, min_kappa=2)
+        sizes = sorted(c.size for c in communities)
+        assert sizes == [6, 8]
+        assert all(c.snapshot == 0 for c in communities)
+
+    def test_max_communities_cap(self):
+        g = graph_of(*[list(range(i * 10, i * 10 + 4)) for i in range(6)])
+        communities = snapshot_communities(g, 0, min_kappa=2, max_communities=3)
+        assert len(communities) == 3
+
+
+class TestTransitions:
+    def test_continue(self):
+        g = graph_of(list(range(8)))
+        stream = SnapshotStream([g, g.copy()])
+        timeline = track_communities(stream)
+        assert timeline.summary() == {"continue": 1}
+
+    def test_grow(self):
+        before = graph_of(list(range(6)))
+        after = graph_of(list(range(9)))
+        timeline = track_communities(SnapshotStream([before, after]))
+        assert timeline.summary() == {"grow": 1}
+        event = timeline.events("grow")[0]
+        assert event.before[0].size == 6
+        assert event.after[0].size == 9
+
+    def test_shrink(self):
+        before = graph_of(list(range(9)))
+        after = graph_of(list(range(6)), extra=[(6, 100), (7, 100), (8, 100)])
+        timeline = track_communities(SnapshotStream([before, after]))
+        assert "shrink" in timeline.summary()
+
+    def test_merge(self):
+        before = graph_of(list(range(6)), list(range(10, 16)))
+        after = graph_of(list(range(6)) + list(range(10, 16)))
+        timeline = track_communities(SnapshotStream([before, after]))
+        merges = timeline.events("merge")
+        assert merges
+        assert len(merges[0].before) == 2
+        assert merges[0].after[0].size == 12
+
+    def test_split(self):
+        before = graph_of(list(range(12)))
+        after = graph_of(list(range(6)), list(range(6, 12)))
+        timeline = track_communities(SnapshotStream([before, after]))
+        splits = timeline.events("split")
+        assert splits
+        assert len(splits[0].after) == 2
+
+    def test_form_and_dissolve(self):
+        before = graph_of(list(range(6)))
+        after = graph_of(list(range(100, 106)))
+        timeline = track_communities(SnapshotStream([before, after]))
+        summary = timeline.summary()
+        assert summary.get("form") == 1
+        assert summary.get("dissolve") == 1
+
+    def test_multi_step_stream(self):
+        g0 = graph_of(list(range(6)))
+        g1 = graph_of(list(range(8)))
+        g2 = graph_of(list(range(8)), list(range(50, 55)))
+        timeline = track_communities(SnapshotStream([g0, g1, g2]))
+        kinds_by_step = {}
+        for transition in timeline.transitions:
+            kinds_by_step.setdefault(transition.snapshot, []).append(
+                transition.kind
+            )
+        assert "grow" in kinds_by_step[1]
+        assert "form" in kinds_by_step[2]
+
+    def test_events_filter(self):
+        g = graph_of(list(range(8)))
+        timeline = track_communities(SnapshotStream([g, g.copy()]))
+        assert timeline.events("merge") == []
+        assert len(timeline.events()) == 1
+
+    def test_wiki_case_study_merges_detected(self):
+        from repro.datasets import load
+
+        dataset = load("wiki_snapshots")
+        timeline = track_communities(
+            SnapshotStream(dataset.snapshots), min_kappa=3
+        )
+        assert timeline.events("merge"), "topic merges must register"
+
+
+class TestRepr:
+    def test_transition_repr(self):
+        community = TrackedCommunity(0, 3, frozenset({1, 2, 3, 4, 5}))
+        transition = Transition("form", 1, (), (community,))
+        assert "form" in repr(transition)
+        assert "[5]" in repr(transition)

@@ -1,0 +1,149 @@
+"""Unit tests for Algorithm 1 (static Triangle K-Core decomposition)."""
+
+import pytest
+
+from repro.core import (
+    check_decomposition,
+    co_clique_sizes,
+    kappa_from_mapping,
+    kappa_upper_bounds,
+    reference_decomposition,
+    triangle_kcore_decomposition,
+    truss_numbers,
+)
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+class TestSmallGraphs:
+    def test_empty_graph(self):
+        result = triangle_kcore_decomposition(Graph())
+        assert result.kappa == {}
+        assert result.max_kappa == 0
+
+    def test_single_edge(self):
+        result = triangle_kcore_decomposition(Graph(edges=[(1, 2)]))
+        assert result.kappa == {(1, 2): 0}
+
+    def test_single_triangle(self, triangle_graph):
+        result = triangle_kcore_decomposition(triangle_graph)
+        assert set(result.kappa.values()) == {1}
+
+    def test_clique_kappa_is_n_minus_2(self):
+        """Paper §III: an n-clique is an (n-2)-Triangle K-Core."""
+        for n in range(3, 9):
+            result = triangle_kcore_decomposition(complete_graph(n))
+            assert set(result.kappa.values()) == {n - 2}
+
+    def test_two_triangles_sharing_edge(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        result = triangle_kcore_decomposition(g)
+        # The shared edge (0,1) has 2 triangles but each side triangle's
+        # other edges have only 1, so everything peels at 1.
+        assert set(result.kappa.values()) == {1}
+
+    def test_pendant_edge_is_zero(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        result = triangle_kcore_decomposition(g)
+        assert result.kappa_of(2, 3) == 0
+        assert result.kappa_of(0, 1) == 1
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_erosion(self, seed):
+        g = erdos_renyi(35, 0.2, seed=seed)
+        result = triangle_kcore_decomposition(g)
+        assert result.kappa == reference_decomposition(g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validator_accepts(self, seed):
+        g = erdos_renyi(30, 0.25, seed=seed + 50)
+        result = triangle_kcore_decomposition(g)
+        check_decomposition(g, result.kappa)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx_truss(self, seed):
+        from repro.baselines import networkx_kappa
+
+        g = erdos_renyi(50, 0.25, seed=seed + 9)
+        result = triangle_kcore_decomposition(g)
+        assert result.kappa == networkx_kappa(g)
+
+    def test_membership_mode_same_kappa(self):
+        g = erdos_renyi(30, 0.3, seed=77)
+        plain = triangle_kcore_decomposition(g)
+        with_membership = triangle_kcore_decomposition(g, store_membership=True)
+        assert plain.kappa == with_membership.kappa
+        assert with_membership.membership is not None
+
+
+class TestResultObject:
+    def test_kappa_of_is_orientation_free(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        assert result.kappa_of("B", "A") == result.kappa_of("A", "B") == 1
+
+    def test_processing_order_nondecreasing(self):
+        g = erdos_renyi(40, 0.2, seed=13)
+        result = triangle_kcore_decomposition(g)
+        values = [result.kappa[e] for e in result.processing_order]
+        assert values == sorted(values)
+
+    def test_processing_order_covers_all_edges(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        assert set(result.processing_order) == set(result.kappa)
+
+    def test_co_clique_size(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        assert result.co_clique_size(0, 1) == 5
+
+    def test_vertex_kappa(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        vk = result.vertex_kappa()
+        assert vk["A"] == 1
+        assert vk["B"] == 2
+
+    def test_vertex_kappa_ignores_isolated(self):
+        g = Graph(edges=[(1, 2)], vertices=[9])
+        vk = triangle_kcore_decomposition(g).vertex_kappa()
+        assert 9 not in vk
+
+    def test_edges_with_kappa_at_least(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        level2 = set(result.edges_with_kappa_at_least(2))
+        assert len(level2) == 6  # the K4 on B,C,D,E
+
+    def test_histogram(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        assert result.histogram() == {1: 2, 2: 6}
+
+    def test_order_index(self, fig2_graph):
+        result = triangle_kcore_decomposition(fig2_graph)
+        index = result.order_index()
+        assert sorted(index.values()) == list(map(float, range(8)))
+
+
+class TestHelpers:
+    def test_upper_bounds_are_supports(self, fig2_graph):
+        bounds = kappa_upper_bounds(fig2_graph)
+        assert bounds[("A", "B")] == 1
+        assert bounds[("B", "C")] == 3
+
+    def test_upper_bounds_dominate_kappa(self):
+        g = erdos_renyi(40, 0.25, seed=17)
+        bounds = kappa_upper_bounds(g)
+        result = triangle_kcore_decomposition(g)
+        assert all(bounds[e] >= k for e, k in result.kappa.items())
+
+    def test_co_clique_sizes(self, triangle_graph):
+        result = triangle_kcore_decomposition(triangle_graph)
+        assert set(co_clique_sizes(result).values()) == {3}
+
+    def test_truss_numbers(self, k5):
+        result = triangle_kcore_decomposition(k5)
+        assert set(truss_numbers(result).values()) == {5}
+
+    def test_kappa_from_mapping(self):
+        wrapped = kappa_from_mapping({(1, 2): 3, (2, 3): 1})
+        assert wrapped.max_kappa == 3
+        values = [wrapped.kappa[e] for e in wrapped.processing_order]
+        assert values == sorted(values)

@@ -1,0 +1,76 @@
+"""Tests for the dynamic triangle index."""
+
+import random
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError
+from repro.graph import Graph, TriangleStore, complete_graph, erdos_renyi
+
+
+class TestBuild:
+    def test_initial_index_matches_graph(self):
+        g = erdos_renyi(30, 0.3, seed=1)
+        store = TriangleStore(g)
+        assert store.is_consistent()
+
+    def test_support_and_apexes(self, k5):
+        store = TriangleStore(k5)
+        assert store.support(0, 1) == 3
+        assert store.apexes(0, 1) == {2, 3, 4}
+
+    def test_total_triangles(self, k5):
+        assert TriangleStore(k5).total_triangles() == 10
+
+    def test_triangles_of_edge_canonical(self, triangle_graph):
+        store = TriangleStore(triangle_graph)
+        assert list(store.triangles_of_edge(0, 1)) == [(0, 1, 2)]
+
+    def test_missing_edge_raises(self, triangle_graph):
+        store = TriangleStore(triangle_graph)
+        with pytest.raises(EdgeNotFoundError):
+            store.apexes(0, 9)
+
+
+class TestUpdates:
+    def test_add_edge_returns_new_apexes(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        store = TriangleStore(g)
+        assert store.add_edge(0, 2) == {1}
+        assert store.apexes(0, 1) == {2}
+        assert store.is_consistent()
+
+    def test_add_edge_with_new_vertex(self, triangle_graph):
+        store = TriangleStore(triangle_graph)
+        assert store.add_edge(0, 99) == set()
+        assert store.support(0, 99) == 0
+
+    def test_remove_edge_returns_dead_apexes(self, k5):
+        store = TriangleStore(k5)
+        assert store.remove_edge(0, 1) == {2, 3, 4}
+        assert store.is_consistent()
+        assert store.support(0, 2) == 2
+
+    def test_remove_missing_edge_raises(self, triangle_graph):
+        store = TriangleStore(triangle_graph)
+        with pytest.raises(EdgeNotFoundError):
+            store.remove_edge(0, 9)
+
+    def test_random_churn_stays_consistent(self):
+        rng = random.Random(7)
+        g = erdos_renyi(20, 0.3, seed=3)
+        store = TriangleStore(g)
+        vertices = sorted(g.vertices())
+        for _ in range(120):
+            u, v = rng.sample(vertices, 2)
+            if store.graph.has_edge(u, v):
+                store.remove_edge(u, v)
+            else:
+                store.add_edge(u, v)
+        assert store.is_consistent()
+
+    def test_shared_graph_reference(self):
+        g = complete_graph(4)
+        store = TriangleStore(g)
+        store.remove_edge(0, 1)
+        assert not g.has_edge(0, 1), "store mutates the shared graph"

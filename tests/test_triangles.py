@@ -1,0 +1,126 @@
+"""Unit tests for triangle enumeration and counting."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    count_triangles,
+    edge_triangle_index,
+    enumerate_triangles,
+    erdos_renyi,
+    global_clustering_coefficient,
+    local_clustering,
+    new_triangles_for_edge,
+    triangle_degree,
+    triangle_supports,
+    triangles_of_edge,
+)
+from repro.graph.triangles import enumerate_open_wedges
+
+
+class TestEnumeration:
+    def test_complete_graph_counts(self):
+        for n in range(3, 8):
+            expected = math.comb(n, 3)
+            assert count_triangles(complete_graph(n)) == expected
+
+    def test_no_triangles_in_tree(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (1, 4)])
+        assert count_triangles(g) == 0
+
+    def test_each_triangle_once(self, k5):
+        triangles = list(enumerate_triangles(k5))
+        assert len(triangles) == len(set(triangles)) == 10
+
+    def test_canonical_form(self, triangle_graph):
+        assert list(enumerate_triangles(triangle_graph)) == [(0, 1, 2)]
+
+    def test_matches_per_edge_enumeration(self):
+        g = erdos_renyi(40, 0.2, seed=5)
+        from_global = set(enumerate_triangles(g))
+        from_edges = set()
+        for u, v in g.edges():
+            from_edges.update(triangles_of_edge(g, u, v))
+        assert from_global == from_edges
+
+    def test_empty_graph(self):
+        assert count_triangles(Graph()) == 0
+
+
+class TestTrianglesOfEdge:
+    def test_apexes_are_common_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3), (2, 3), (2, 4), (1, 4), (4, 5)])
+        triangles = sorted(triangles_of_edge(g, 1, 2))
+        assert triangles == [(1, 2, 3), (1, 2, 4)]
+
+    def test_edge_without_triangles(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert list(triangles_of_edge(g, 1, 2)) == []
+
+
+class TestSupports:
+    def test_k4_supports(self):
+        supports = triangle_supports(complete_graph(4))
+        assert set(supports.values()) == {2}
+        assert len(supports) == 6
+
+    def test_supports_match_common_neighbors(self):
+        g = erdos_renyi(30, 0.3, seed=2)
+        supports = triangle_supports(g)
+        for (u, v), s in supports.items():
+            assert s == len(g.common_neighbors(u, v))
+
+    def test_index_lists_every_triangle_three_times(self, k5):
+        index = edge_triangle_index(k5)
+        total = sum(len(ts) for ts in index.values())
+        assert total == 3 * 10
+
+    def test_index_covers_all_edges(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        index = edge_triangle_index(g)
+        assert set(index) == {(1, 2), (3, 4)}
+        assert all(ts == [] for ts in index.values())
+
+
+class TestNewTriangles:
+    def test_insertion_triangles(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 4), (3, 4)])
+        new = new_triangles_for_edge(g, 1, 3)
+        assert sorted(new) == [(1, 2, 3), (1, 3, 4)]
+
+    def test_rejects_existing_edge(self, triangle_graph):
+        with pytest.raises(ValueError):
+            new_triangles_for_edge(triangle_graph, 0, 1)
+
+
+class TestClustering:
+    def test_clique_transitivity_is_one(self):
+        assert global_clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_tree_transitivity_is_zero(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert global_clustering_coefficient(g) == 0.0
+
+    def test_local_clustering_triangle(self, triangle_graph):
+        assert local_clustering(triangle_graph, 0) == pytest.approx(1.0)
+
+    def test_local_clustering_low_degree(self):
+        g = Graph(edges=[(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_triangle_degree(self, k5):
+        assert triangle_degree(k5, 0) == 6  # C(4,2) triangles through a K5 vertex
+
+
+class TestOpenWedges:
+    def test_path_has_one_wedge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        wedges = list(enumerate_open_wedges(g))
+        assert len(wedges) == 1
+        assert wedges[0][1] == 1  # center
+
+    def test_triangle_has_no_open_wedges(self, triangle_graph):
+        assert list(enumerate_open_wedges(triangle_graph)) == []

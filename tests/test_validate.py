@@ -1,0 +1,101 @@
+"""Tests for the invariant validators (they must catch corrupted states)."""
+
+import pytest
+
+from repro.core import (
+    check_decomposition,
+    check_level_subgraphs,
+    check_maximality,
+    check_theorem1,
+    reference_decomposition,
+    triangle_kcore_decomposition,
+)
+from repro.core.validate import check_covers_all_edges
+from repro.exceptions import ValidationError
+from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+@pytest.fixture
+def good(k5):
+    return k5, triangle_kcore_decomposition(k5).kappa
+
+
+class TestAccepts:
+    def test_correct_decomposition_passes(self, good):
+        graph, kappa = good
+        check_decomposition(graph, kappa)
+
+    def test_empty_graph_passes(self):
+        check_decomposition(Graph(), {})
+
+    def test_random_graphs_pass(self):
+        for seed in range(3):
+            g = erdos_renyi(25, 0.3, seed=seed)
+            check_decomposition(g, triangle_kcore_decomposition(g).kappa)
+
+
+class TestRejects:
+    def test_missing_edge_detected(self, good):
+        graph, kappa = good
+        broken = dict(kappa)
+        broken.pop(next(iter(broken)))
+        with pytest.raises(ValidationError):
+            check_covers_all_edges(graph, broken)
+
+    def test_extra_edge_detected(self, good):
+        graph, kappa = good
+        broken = dict(kappa)
+        broken[(99, 100)] = 1
+        with pytest.raises(ValidationError):
+            check_covers_all_edges(graph, broken)
+
+    def test_inflated_kappa_detected(self, good):
+        graph, kappa = good
+        broken = dict(kappa)
+        edge = next(iter(broken))
+        broken[edge] += 1
+        with pytest.raises(ValidationError):
+            check_decomposition(graph, broken)
+
+    def test_deflated_kappa_detected(self, good):
+        graph, kappa = good
+        broken = dict(kappa)
+        edge = next(iter(broken))
+        broken[edge] -= 1
+        with pytest.raises(ValidationError):
+            check_decomposition(graph, broken)
+
+    def test_all_zero_fails_maximality_on_clique(self, k5):
+        broken = {edge: 0 for edge in k5.edges()}
+        with pytest.raises(ValidationError):
+            check_maximality(k5, broken)
+
+    def test_theorem1_violation_detected(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        kappa = triangle_kcore_decomposition(g).kappa
+        broken = dict(kappa)
+        broken[(2, 3)] = 1  # pendant edge cannot hold kappa 1
+        with pytest.raises(ValidationError):
+            check_theorem1(g, broken)
+
+    def test_level_subgraph_violation_detected(self, k5):
+        kappa = {edge: 3 for edge in k5.edges()}
+        kappa[(0, 1)] = 4
+        with pytest.raises(ValidationError):
+            check_level_subgraphs(k5, kappa)
+
+
+class TestReferenceDecomposition:
+    def test_matches_fast_implementation(self):
+        for seed in range(3):
+            g = erdos_renyi(20, 0.35, seed=seed + 30)
+            assert reference_decomposition(g) == (
+                triangle_kcore_decomposition(g).kappa
+            )
+
+    def test_clique(self):
+        ref = reference_decomposition(complete_graph(5))
+        assert set(ref.values()) == {3}
+
+    def test_empty(self):
+        assert reference_decomposition(Graph()) == {}

@@ -1,0 +1,229 @@
+"""Tests for the visualization layer (ordering, plots, renderers)."""
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.graph import Graph, complete_graph, planted_cliques
+from repro.viz import (
+    DensityPlot,
+    density_plot,
+    density_plot_from_scores,
+    density_plot_svg,
+    dual_view_plots,
+    dual_view_svg,
+    graph_drawing_svg,
+    optics_order,
+    order_positions,
+    plot_similarity,
+    render,
+    save_svg,
+    sparkline,
+    vertex_scores,
+)
+
+
+@pytest.fixture
+def planted():
+    return planted_cliques(80, [10, 6], background_p=0.02, seed=4)
+
+
+@pytest.fixture
+def planted_plot(planted):
+    result = triangle_kcore_decomposition(planted.graph)
+    return density_plot(planted.graph, result, title="planted")
+
+
+class TestVertexScores:
+    def test_max_over_incident_edges(self):
+        scores = vertex_scores({(1, 2): 5, (2, 3): 7})
+        assert scores == {1: 5, 2: 7, 3: 7}
+
+    def test_empty(self):
+        assert vertex_scores({}) == {}
+
+
+class TestOpticsOrder:
+    def test_covers_all_vertices_once(self, planted):
+        result = triangle_kcore_decomposition(planted.graph)
+        scores = {e: k + 2 for e, k in result.kappa.items()}
+        order, heights = optics_order(planted.graph, scores)
+        assert len(order) == planted.graph.num_vertices
+        assert len(set(order)) == len(order)
+        assert len(heights) == len(order)
+
+    def test_densest_clique_comes_first_and_contiguous(self, planted):
+        result = triangle_kcore_decomposition(planted.graph)
+        scores = {e: k + 2 for e, k in result.kappa.items()}
+        order, heights = optics_order(planted.graph, scores)
+        big = set(planted.cliques[0].vertices)
+        positions = [i for i, v in enumerate(order) if v in big]
+        assert positions[0] == 0
+        assert positions == list(range(len(big)))
+
+    def test_isolated_vertices_have_zero_height(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)], vertices=[99])
+        result = triangle_kcore_decomposition(g)
+        order, heights = optics_order(
+            g, {e: k + 2 for e, k in result.kappa.items()}
+        )
+        assert heights[order.index(99)] == 0
+
+    def test_order_positions(self):
+        assert order_positions(["a", "b"]) == {"a": 0, "b": 1}
+
+
+class TestDensityPlot:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DensityPlot(order=[1, 2], heights=[1])
+
+    def test_max_height(self, planted_plot):
+        assert planted_plot.max_height == 10
+
+    def test_position_and_height_lookup(self, planted_plot):
+        v = planted_plot.order[0]
+        assert planted_plot.position_of(v) == 0
+        assert planted_plot.height_of(v) == planted_plot.heights[0]
+
+    def test_position_of_missing_vertex(self, planted_plot):
+        with pytest.raises(ValueError):
+            planted_plot.position_of("ghost")
+
+    def test_series(self):
+        plot = DensityPlot(order=["a", "b"], heights=[3, 1])
+        assert plot.series() == [(0, 3), (1, 1)]
+
+    def test_markers(self, planted_plot):
+        marker = planted_plot.add_marker([planted_plot.order[0]], label="m")
+        assert planted_plot.markers == [marker]
+
+    def test_y_modes(self, planted):
+        result = triangle_kcore_decomposition(planted.graph)
+        reach = density_plot(planted.graph, result, y_mode="reachability")
+        vmax = density_plot(planted.graph, result, y_mode="vertex_max")
+        assert reach.max_height == vmax.max_height
+        # vertex_max heights dominate reachability heights pointwise.
+        heights_reach = dict(zip(reach.order, reach.heights))
+        heights_vmax = dict(zip(vmax.order, vmax.heights))
+        assert all(heights_vmax[v] >= heights_reach[v] for v in heights_reach)
+
+    def test_invalid_y_mode(self, planted):
+        with pytest.raises(ValueError):
+            density_plot_from_scores(planted.graph, {}, y_mode="bogus")
+
+    def test_clique_plateau_height(self):
+        g = complete_graph(6)
+        result = triangle_kcore_decomposition(g)
+        plot = density_plot(g, result)
+        assert plot.heights == [6] * 6
+
+
+class TestPlotSimilarity:
+    def test_identical_plots(self, planted_plot):
+        assert plot_similarity(planted_plot, planted_plot) == pytest.approx(1.0)
+
+    def test_order_invariance(self):
+        a = DensityPlot(order=[1, 2, 3], heights=[5, 3, 1])
+        b = DensityPlot(order=[3, 1, 2], heights=[1, 5, 3])
+        assert plot_similarity(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_vertex_sets(self):
+        a = DensityPlot(order=[1], heights=[1])
+        b = DensityPlot(order=[2], heights=[1])
+        assert plot_similarity(a, b) == 0.0
+
+    def test_both_empty(self):
+        empty = DensityPlot(order=[], heights=[])
+        assert plot_similarity(empty, empty) == 1.0
+
+    def test_divergent_heights_score_low(self):
+        a = DensityPlot(order=[1, 2], heights=[10, 10])
+        b = DensityPlot(order=[1, 2], heights=[0, 0])
+        assert plot_similarity(a, b) == pytest.approx(0.0)
+
+
+class TestRenderers:
+    def test_ascii_render_contains_title_and_axis(self, planted_plot):
+        text = render(planted_plot, height=6, width=60)
+        assert "planted" in text
+        assert "+" in text
+
+    def test_ascii_render_empty(self):
+        text = render(DensityPlot(order=[], heights=[], title="t"))
+        assert "(empty plot)" in text
+
+    def test_sparkline_length(self, planted_plot):
+        line = sparkline(planted_plot, width=40)
+        assert 0 < len(line) <= 40
+
+    def test_sparkline_empty(self):
+        assert sparkline(DensityPlot(order=[], heights=[])) == ""
+
+    def test_svg_well_formed(self, planted_plot):
+        planted_plot.add_marker(planted_plot.order[:5], label="big", shape="rect")
+        svg = density_plot_svg(planted_plot)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 1
+        assert "big" in svg
+
+    def test_svg_marker_shapes(self, planted_plot):
+        for shape in ("circle", "rect", "ellipse", "triangle"):
+            plot = DensityPlot(
+                order=list(planted_plot.order),
+                heights=list(planted_plot.heights),
+            )
+            plot.add_marker(plot.order[:3], shape=shape)
+            svg = density_plot_svg(plot)
+            assert svg.startswith("<svg")
+
+    def test_save_svg(self, planted_plot, tmp_path):
+        path = tmp_path / "plot.svg"
+        save_svg(density_plot_svg(planted_plot), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_graph_drawing(self, k5):
+        svg = graph_drawing_svg(k5, highlight_edges=[(0, 1)])
+        assert svg.count("<line") == 10
+        assert "#c62828" in svg  # the highlighted edge color
+
+
+class TestDualView:
+    def test_algorithm3_zeroes_old_edges(self):
+        g = complete_graph(5)
+        plots = dual_view_plots(g, added=[(0, 10), (1, 10), (10, 11)])
+        # plot(b) heights come only from new edges.
+        heights = dict(zip(plots.after.order, plots.after.heights))
+        assert heights[2] == 0  # untouched clique vertex zeroed
+        assert heights[10] > 0  # new-edge vertex visible
+
+    def test_new_clique_stands_out_in_after_view(self):
+        g = complete_graph(6, offset=100)  # old structure
+        added = [(u, v) for u in range(4) for v in range(4) if u < v]
+        plots = dual_view_plots(g, added=added)
+        assert plots.after.max_height == 4  # the new K4
+        assert plots.before.max_height == 6
+
+    def test_select_assigns_shared_shapes(self):
+        g = complete_graph(4)
+        plots = dual_view_plots(g, added=[(0, 9), (1, 9)])
+        before_marker, after_marker = plots.select([0, 1, 9], label="evt")
+        assert before_marker.shape == after_marker.shape
+        assert 9 not in before_marker.vertices  # new vertex absent before
+        assert 9 in after_marker.vertices
+
+    def test_locate(self):
+        g = complete_graph(4)
+        plots = dual_view_plots(g, added=[(0, 9), (1, 9)])
+        located = plots.locate([0, 9])
+        assert located[0][0] >= 0
+        assert located[9][0] == -1  # not in before view
+        assert located[9][1] >= 0
+
+    def test_dual_view_svg(self):
+        g = complete_graph(4)
+        plots = dual_view_plots(g, added=[(0, 9), (1, 9)])
+        plots.select([0, 1, 9])
+        svg = dual_view_svg(plots)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
