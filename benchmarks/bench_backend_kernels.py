@@ -1,0 +1,147 @@
+"""Backend kernels — reference (dict) vs CSR (flat-array) speedups.
+
+Times the static Triangle K-Core decomposition and triangle counting with
+``backend="reference"`` and ``backend="csr"`` across the Table II sweep
+datasets, asserting identical kappa maps along the way.  Two artifacts are
+written:
+
+* ``benchmarks/results/backend_kernels.txt`` — the human-readable table;
+* ``BENCH_kernels.json`` at the repo root — the machine-readable perf
+  trajectory baseline later perf PRs compare against.
+
+Acceptance gate (ISSUE 1): the CSR backend must be >= 3x faster than the
+reference on the largest synthetic Table II graph.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.graph.triangles import count_triangles
+
+from common import SWEEP_DATASETS, format_table, write_report
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_kernels.json"
+
+#: The largest synthetic Table II graph — the acceptance-gate dataset.
+LARGEST_DATASET = SWEEP_DATASETS[-1]
+MIN_SPEEDUP_LARGEST = 3.0
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    """Run ``fn`` ``repeats`` times; return (last result, best seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.mark.parametrize("backend", ["reference", "csr"])
+@pytest.mark.parametrize("name", SWEEP_DATASETS)
+def test_bench_backend(benchmark, dataset_loader, name, backend):
+    """pytest-benchmark timing of Algorithm 1 per dataset and backend."""
+    graph = dataset_loader(name).graph
+    result = benchmark.pedantic(
+        lambda: triangle_kcore_decomposition(graph, backend=backend),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.max_kappa >= 0
+
+
+def test_backend_kernels_report(dataset_loader, benchmark):
+    benchmark.pedantic(
+        lambda: _backend_kernels_report(dataset_loader), rounds=1, iterations=1
+    )
+
+
+def _backend_kernels_report(dataset_loader):
+    rows = []
+    json_rows = []
+    for name in SWEEP_DATASETS:
+        graph = dataset_loader(name).graph
+        reference, ref_seconds = _best_of(
+            lambda: triangle_kcore_decomposition(graph, backend="reference")
+        )
+        fast, csr_seconds = _best_of(
+            lambda: triangle_kcore_decomposition(graph, backend="csr")
+        )
+        assert fast.kappa == reference.kappa, f"kappa mismatch on {name}"
+        triangles = count_triangles(graph, backend="csr")
+        speedup = ref_seconds / max(csr_seconds, 1e-9)
+        rows.append(
+            (
+                name,
+                graph.num_vertices,
+                graph.num_edges,
+                triangles,
+                f"{ref_seconds:.4f}",
+                f"{csr_seconds:.4f}",
+                f"{speedup:.2f}x",
+            )
+        )
+        json_rows.append(
+            {
+                "dataset": name,
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "triangles": triangles,
+                "reference_seconds": round(ref_seconds, 6),
+                "csr_seconds": round(csr_seconds, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+
+    lines = format_table(
+        ("dataset", "|V|", "|E|", "|Tri|", "reference(s)", "csr(s)", "speedup"),
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"gate: csr >= {MIN_SPEEDUP_LARGEST:.0f}x on {LARGEST_DATASET} "
+        f"(largest Table II graph); best-of-{REPEATS} wall clocks"
+    )
+    write_report("backend_kernels", lines)
+
+    largest = next(r for r in json_rows if r["dataset"] == LARGEST_DATASET)
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "backend_kernels",
+                "description": (
+                    "Algorithm 1 static decomposition: dict-based reference "
+                    "backend vs repro.fast CSR flat-array kernels "
+                    f"(best-of-{REPEATS} wall clock, seconds)"
+                ),
+                "command": (
+                    "PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_backend_kernels.py -q"
+                ),
+                "acceptance": {
+                    "dataset": LARGEST_DATASET,
+                    "min_speedup": MIN_SPEEDUP_LARGEST,
+                    "measured_speedup": largest["speedup"],
+                },
+                "rows": json_rows,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert largest["speedup"] >= MIN_SPEEDUP_LARGEST, (
+        f"csr backend only {largest['speedup']:.2f}x faster than reference "
+        f"on {LARGEST_DATASET}; the kernel layer must stay >= "
+        f"{MIN_SPEEDUP_LARGEST:.0f}x"
+    )

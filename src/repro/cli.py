@@ -38,10 +38,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     start = time.perf_counter()
-    result = triangle_kcore_decomposition(graph)
+    result = triangle_kcore_decomposition(graph, backend=args.backend)
     elapsed = time.perf_counter() - start
     print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
-    print(f"decomposition: {elapsed:.3f}s, max kappa = {result.max_kappa}")
+    print(
+        f"decomposition ({args.backend} backend): {elapsed:.3f}s, "
+        f"max kappa = {result.max_kappa}"
+    )
     print("kappa histogram (kappa: edges):")
     for value, count in result.histogram().items():
         print(f"  {value:4d}: {count}")
@@ -324,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decompose", help="run Algorithm 1")
     p.add_argument("graph", help="dataset name or edge-list path")
     p.add_argument("-o", "--output", help="write per-edge kappa here")
+    p.add_argument(
+        "--backend",
+        choices=("auto", "reference", "csr"),
+        default="auto",
+        help="decomposition implementation: dict-based reference, "
+        "flat-array CSR kernels, or auto (size-based, default)",
+    )
     p.set_defaults(func=_cmd_decompose)
 
     p = sub.add_parser("plot", help="density plot (ASCII or SVG)")

@@ -80,11 +80,24 @@ class BucketQueue(Generic[K]):
         if priority < self._floor:
             self._floor = priority
 
+    def _advance_floor(self) -> None:
+        """Move the floor pointer past empty buckets (eagerly, so later
+        ``peek_min_priority`` / ``pop_min`` calls never rescan them)."""
+        buckets = self._buckets
+        floor = self._floor
+        while floor < len(buckets) and not buckets[floor]:
+            floor += 1
+        self._floor = floor
+
     def remove(self, key: K) -> int:
         """Remove ``key``; return the priority it had."""
         priority = self._priority.pop(key)
         self._buckets[priority].discard(key)
         self._size -= 1
+        # Removing the last key of the floor bucket would otherwise leave a
+        # stale floor that every subsequent peek rescans from.
+        if self._size and priority == self._floor and not self._buckets[priority]:
+            self._advance_floor()
         return priority
 
     def set_priority(self, key: K, priority: int) -> None:
@@ -99,6 +112,8 @@ class BucketQueue(Generic[K]):
         self._priority[key] = priority
         if priority < self._floor:
             self._floor = priority
+        elif old == self._floor and not self._buckets[old]:
+            self._advance_floor()
 
     def decrement(self, key: K) -> int:
         """Decrease ``key``'s priority by one; return the new priority."""
@@ -113,8 +128,7 @@ class BucketQueue(Generic[K]):
         """
         if self._size == 0:
             raise IndexError("pop from empty BucketQueue")
-        while self._floor < len(self._buckets) and not self._buckets[self._floor]:
-            self._floor += 1
+        self._advance_floor()
         bucket = self._buckets[self._floor]
         key = bucket.pop()
         del self._priority[key]
@@ -125,10 +139,8 @@ class BucketQueue(Generic[K]):
         """Smallest priority currently stored (IndexError when empty)."""
         if self._size == 0:
             raise IndexError("peek on empty BucketQueue")
-        floor = self._floor
-        while floor < len(self._buckets) and not self._buckets[floor]:
-            floor += 1
-        return floor
+        self._advance_floor()
+        return self._floor
 
     def keys(self) -> Iterable[K]:
         """All keys currently in the queue (no order guarantee)."""

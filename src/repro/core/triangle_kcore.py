@@ -110,6 +110,7 @@ def triangle_kcore_decomposition(
     graph: Graph,
     *,
     store_membership: bool = False,
+    backend: str = "auto",
 ) -> TriangleKCoreResult:
     """Run Algorithm 1 on ``graph``.
 
@@ -121,7 +122,14 @@ def triangle_kcore_decomposition(
         When True, maintain the AddToCore/DelFromCore bookkeeping (paper
         steps 5 and 14).  The paper notes the static algorithm does not need
         it; it costs O(|Tri|) memory and is mainly useful for inspecting the
-        maximum-core triangles and validating Rule 1.
+        maximum-core triangles and validating Rule 1.  Forces the reference
+        backend.
+    backend:
+        ``"reference"`` runs the dict-based implementation below;
+        ``"csr"`` snapshots the graph into flat integer arrays and runs the
+        :mod:`repro.fast` kernels (identical kappa maps, much faster on
+        large graphs); ``"auto"`` (default) picks per the policy documented
+        in :mod:`repro.fast`.
 
     Returns
     -------
@@ -140,6 +148,11 @@ def triangle_kcore_decomposition(
     >>> result.kappa_of("B", "C")
     2
     """
+    from ..fast import csr_decomposition, resolve_backend
+
+    if resolve_backend(backend, graph, needs_reference=store_membership) == "csr":
+        return csr_decomposition(graph)
+
     # Steps 1-5: initial upper bounds = triangle supports.  A single pass
     # over the canonical triangle enumeration both counts supports and, when
     # requested, populates the membership sets.

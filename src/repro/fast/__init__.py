@@ -1,0 +1,113 @@
+"""``repro.fast`` — flat-array (CSR) kernel backend for the static hot paths.
+
+The reference implementations in :mod:`repro.core` and
+:mod:`repro.graph.triangles` run on hash-keyed dicts of canonical edge
+tuples: ideal for dynamic updates and as a cross-validation oracle, but an
+order of magnitude slower than necessary for one-shot static work.  This
+package provides the fast path behind ``backend="csr"``:
+
+* :class:`~repro.fast.csr.CSRGraph` — immutable integer-relabeled CSR
+  snapshot of a :class:`~repro.graph.undirected.Graph`;
+* :mod:`repro.fast.kernels` — triangle counting/supports and the
+  Algorithm 1 peeling kernel over flat int arrays;
+* this module — decoding kernel output back into the public dict-based
+  API (:class:`~repro.core.triangle_kcore.TriangleKCoreResult` et al.)
+  and the ``backend`` dispatch policy shared by every entry point.
+
+Backends
+--------
+
+``"reference"``
+    The original pure-dict implementations.  Always available; required
+    for ``store_membership=True``.
+``"csr"``
+    Snapshot + kernels from this package.  Produces identical kappa maps
+    (the test suite asserts it property-based against both the reference
+    and networkx), but its processing order may break ties differently —
+    any non-decreasing-kappa order is valid.
+``"auto"``
+    ``"csr"`` for static calls on graphs with at least
+    :data:`AUTO_MIN_EDGES` edges, ``"reference"`` otherwise (snapshot
+    construction overhead dominates below that) and whenever membership
+    bookkeeping is requested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.edge import Edge
+from ..graph.undirected import Graph
+from .csr import CSRGraph
+from .kernels import peel, supports_and_triangles, triangle_count, triangle_supports
+
+__all__ = [
+    "AUTO_MIN_EDGES",
+    "BACKENDS",
+    "CSRGraph",
+    "csr_count_triangles",
+    "csr_decomposition",
+    "csr_triangle_supports",
+    "peel",
+    "resolve_backend",
+    "supports_and_triangles",
+    "triangle_count",
+    "triangle_supports",
+]
+
+BACKENDS = ("auto", "reference", "csr")
+
+#: "auto" switches to the CSR kernels at this edge count; below it the
+#: snapshot build costs more than the dict overhead it saves (measured in
+#: benchmarks/bench_backend_kernels.py — the crossover sits near 10^3 edges).
+AUTO_MIN_EDGES = 1024
+
+
+def resolve_backend(
+    backend: str, graph: Graph, *, needs_reference: bool = False
+) -> str:
+    """Resolve ``backend`` to ``"reference"`` or ``"csr"`` for ``graph``.
+
+    ``needs_reference`` marks calls the kernels cannot serve (currently:
+    membership bookkeeping); ``"auto"`` then degrades silently while an
+    explicit ``"csr"`` raises, so callers never get an answer computed
+    differently from what they asked for.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "reference":
+        return "reference"
+    if needs_reference:
+        if backend == "csr":
+            raise ValueError(
+                "backend='csr' does not support membership bookkeeping; "
+                "use backend='reference' (or 'auto')"
+            )
+        return "reference"
+    if backend == "csr":
+        return "csr"
+    return "csr" if graph.num_edges >= AUTO_MIN_EDGES else "reference"
+
+
+def csr_count_triangles(graph: Graph) -> int:
+    """Total triangle count via the CSR kernel."""
+    return triangle_count(CSRGraph.from_graph(graph))
+
+
+def csr_triangle_supports(graph: Graph) -> Dict[Edge, int]:
+    """``{canonical edge: triangle support}`` via the CSR kernel."""
+    csr = CSRGraph.from_graph(graph)
+    return dict(zip(csr.edge_labels(), triangle_supports(csr)))
+
+
+def csr_decomposition(graph: Graph) -> "TriangleKCoreResult":  # noqa: F821
+    """Algorithm 1 via the CSR kernels, decoded to the public result type."""
+    # Imported lazily: repro.core.triangle_kcore dispatches into this module.
+    from ..core.triangle_kcore import TriangleKCoreResult
+
+    csr = CSRGraph.from_graph(graph)
+    kappa_by_eid, order_by_eid = peel(csr, supports_and_triangles(csr))
+    edges = csr.edge_labels()
+    kappa: Dict[Edge, int] = dict(zip(edges, kappa_by_eid))
+    processing_order: List[Edge] = list(map(edges.__getitem__, order_by_eid))
+    return TriangleKCoreResult(kappa=kappa, processing_order=processing_order)

@@ -54,6 +54,10 @@ def erdos_renyi(n: int, p: float, *, seed: int = 0) -> Graph:
     import math
 
     log_q = math.log(1.0 - p)
+    if log_q == 0.0:
+        # p below float precision (1 - p rounds to 1.0): the expected edge
+        # count is ~p * n^2 / 2 ≈ 0, so the empty graph is the right sample.
+        return graph
     v = 1
     w = -1
     while v < n:

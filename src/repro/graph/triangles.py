@@ -69,17 +69,25 @@ def enumerate_triangles(graph: Graph) -> Iterator[Triangle]:
                     yield canonical_triangle(u, v, w)
 
 
-def count_triangles(graph: Graph) -> int:
+def count_triangles(graph: Graph, *, backend: str = "auto") -> int:
     """Return the total number of triangles in ``graph``.
+
+    ``backend`` selects the implementation: ``"reference"`` iterates
+    :func:`enumerate_triangles`, ``"csr"`` runs the flat-array kernel of
+    :mod:`repro.fast`, ``"auto"`` (default) picks by graph size.
 
     >>> from .undirected import complete_graph
     >>> count_triangles(complete_graph(6))
     20
     """
+    from ..fast import csr_count_triangles, resolve_backend
+
+    if resolve_backend(backend, graph) == "csr":
+        return csr_count_triangles(graph)
     return sum(1 for _ in enumerate_triangles(graph))
 
 
-def triangle_supports(graph: Graph) -> Dict[Edge, int]:
+def triangle_supports(graph: Graph, *, backend: str = "auto") -> Dict[Edge, int]:
     """Return ``{edge: number of triangles containing it}`` for every edge.
 
     This is the initial upper bound :math:`\\tilde\\kappa(e)` of Algorithm 1
@@ -88,7 +96,13 @@ def triangle_supports(graph: Graph) -> Dict[Edge, int]:
 
     Computed in a single pass over the triangle enumeration, so the cost is
     O(|E| + |Tri|) rather than one common-neighbor intersection per edge.
+    ``backend`` works as in :func:`count_triangles`; both paths return
+    identical mappings.
     """
+    from ..fast import csr_triangle_supports, resolve_backend
+
+    if resolve_backend(backend, graph) == "csr":
+        return csr_triangle_supports(graph)
     supports: Dict[Edge, int] = {edge: 0 for edge in graph.edges()}
     for a, b, c in enumerate_triangles(graph):
         supports[(a, b)] += 1

@@ -79,6 +79,58 @@ class TestMutation:
         assert set(q.keys()) == {"a", "b"}
 
 
+class TestFloorAdvancement:
+    """Regressions for stale-floor handling after remove / set_priority.
+
+    Emptying the floor bucket must advance the floor eagerly; otherwise
+    every later ``peek_min_priority`` rescans the same empty prefix.
+    """
+
+    def test_remove_last_floor_key_advances_floor(self):
+        q = BucketQueue({"a": 0, "b": 500})
+        q.remove("a")
+        assert q._floor == 500  # advanced eagerly, not on the next peek
+        assert q.peek_min_priority() == 500
+        assert q.pop_min() == ("b", 500)
+
+    def test_remove_non_floor_key_keeps_floor(self):
+        q = BucketQueue({"a": 0, "b": 5})
+        q.remove("b")
+        assert q._floor == 0
+        assert q.peek_min_priority() == 0
+
+    def test_remove_last_key_leaves_empty_queue_consistent(self):
+        q = BucketQueue({"a": 3})
+        q.remove("a")
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.peek_min_priority()
+        q.insert("b", 1)
+        assert q.pop_min() == ("b", 1)
+
+    def test_set_priority_off_floor_advances_floor(self):
+        q = BucketQueue({"a": 0, "b": 500})
+        q.set_priority("a", 7)
+        assert q._floor == 7
+        assert q.peek_min_priority() == 7
+        assert q.pop_min() == ("a", 7)
+
+    def test_set_priority_below_floor_lowers_floor(self):
+        q = BucketQueue({"a": 5, "b": 6})
+        q.pop_min()
+        q.set_priority("b", 1)
+        assert q.peek_min_priority() == 1
+
+    def test_interleaved_removes_and_peeks_stay_correct(self):
+        q = BucketQueue({f"k{i}": i for i in range(20)})
+        expected = 0
+        for i in range(19):
+            assert q.peek_min_priority() == expected
+            q.remove(f"k{expected}")
+            expected += 1
+        assert q.pop_min() == ("k19", 19)
+
+
 class TestPeelingPattern:
     def test_monotone_peel_matches_sorted_order(self):
         """Simulate the peeling access pattern Algorithm 1 uses."""

@@ -2,6 +2,14 @@
 
 import pytest
 
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
 from repro.cli import build_parser, main
 from repro.graph import Graph, write_edge_list
 
@@ -93,6 +101,10 @@ class TestTemplates:
 
 
 class TestDatasets:
+    @pytest.mark.skipif(
+        not _numpy_available(),
+        reason="`datasets` loads the R-MAT stand-ins, which need numpy",
+    )
     def test_lists_all(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out

@@ -2,6 +2,19 @@
 
 import pytest
 
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+requires_numpy = pytest.mark.skipif(
+    not _numpy_available(), reason="the R-MAT generator requires numpy"
+)
+
 from repro.graph import (
     barabasi_albert,
     canonical_edge,
@@ -120,6 +133,7 @@ class TestRelaxedCaveman:
         assert len(g.connected_components()) == 3
 
 
+@requires_numpy
 class TestRmat:
     def test_size_and_determinism(self):
         a = rmat(8, 4, seed=3)
