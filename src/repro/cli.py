@@ -11,6 +11,9 @@ Subcommands
 * ``templates`` — detect New Form / Bridge / New Join cliques between two
   snapshots.
 * ``datasets`` — list the built-in dataset stand-ins.
+* ``fuzz`` — differential oracle fuzzing of the dynamic maintainer
+  (see docs/testing.md): generate seeded workloads, cross-check every
+  oracle, shrink and dump any divergence as a replayable JSON bundle.
 """
 
 from __future__ import annotations
@@ -36,9 +39,19 @@ def _load_graph(spec: str) -> Graph:
 def _cmd_decompose(args: argparse.Namespace) -> int:
     from .core import triangle_kcore_decomposition
 
+    if args.membership and args.backend == "csr":
+        print(
+            "error: --membership needs the reference backend (the CSR "
+            "kernels do not track AddToCore/DelFromCore state); drop "
+            "--backend csr or use --backend auto/reference",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
     start = time.perf_counter()
-    result = triangle_kcore_decomposition(graph, backend=args.backend)
+    result = triangle_kcore_decomposition(
+        graph, backend=args.backend, store_membership=args.membership
+    )
     elapsed = time.perf_counter() - start
     print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
     print(
@@ -48,6 +61,14 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     print("kappa histogram (kappa: edges):")
     for value, count in result.histogram().items():
         print(f"  {value:4d}: {count}")
+    if args.membership and result.membership is not None:
+        in_core = sum(
+            result.membership.count(edge) for edge in result.membership.edges()
+        )
+        print(
+            f"membership: {in_core} (triangle, edge) maximum-core records "
+            f"across {len(result.kappa)} edges"
+        )
     if args.output:
         if str(args.output).endswith(".json"):
             from .core import save_result
@@ -304,6 +325,96 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import (
+        PROFILES,
+        ReproBundle,
+        fuzz,
+        perturbed_sut_factory,
+        replay,
+    )
+
+    if args.replay:
+        bundle = ReproBundle.load(args.replay)
+        print(
+            f"replaying bundle: {len(bundle.script)} ops, "
+            f"profile={bundle.profile or '?'}, seed={bundle.seed}"
+        )
+        factory = (
+            perturbed_sut_factory(args.perturb_level)
+            if args.perturb_level is not None
+            else None
+        )
+        report = replay(bundle, **({"sut_factory": factory} if factory else {}))
+        if report.ok:
+            print(
+                f"replay clean: {report.steps} ops, "
+                f"{report.checkpoints} checkpoints, oracles={report.oracles}"
+            )
+            return 0
+        d = report.divergence
+        print(f"replay DIVERGED at op {d.step} [{d.kind}]: {d.message}")
+        for u, v, want, got in d.diff[:10]:
+            print(f"  edge ({u!r}, {v!r}): expected kappa {want}, got {got}")
+        return 1
+
+    profiles = sorted(PROFILES) if args.profile == "all" else [args.profile]
+    sut_factory_kwargs = {}
+    if args.perturb_level is not None:
+        sut_factory_kwargs["sut_factory"] = perturbed_sut_factory(
+            args.perturb_level
+        )
+        print(
+            f"self-test: injecting off-by-one kappa bug at level "
+            f"{args.perturb_level}"
+        )
+    start = time.perf_counter()
+    result = fuzz(
+        seed=args.seed,
+        ops=args.ops,
+        profiles=profiles,
+        checkpoint_every=args.checkpoint_every,
+        shrink=args.shrink,
+        **sut_factory_kwargs,
+    )
+    elapsed = time.perf_counter() - start
+    for outcome in result.outcomes:
+        status = "clean" if outcome.ok else "DIVERGED"
+        print(
+            f"  {outcome.profile:16s} seed={outcome.seed} "
+            f"ops={outcome.report.steps} "
+            f"checkpoints={outcome.report.checkpoints} {status}"
+        )
+    failure = result.first_failure
+    if failure is None:
+        oracle_names = (
+            result.outcomes[0].report.oracles if result.outcomes else []
+        )
+        print(
+            f"no divergence: {result.total_steps()} ops across "
+            f"{len(result.outcomes)} profile(s), oracles={oracle_names} "
+            f"({elapsed:.1f}s)"
+        )
+        return 0
+    d = failure.bundle.divergence
+    print(
+        f"divergence in profile {failure.profile!r} "
+        f"[{d.kind}{f'/{d.oracle}' if d.oracle else ''}]: {d.message}"
+    )
+    if failure.shrink is not None:
+        print(
+            f"shrunk {failure.shrink.original_ops} -> "
+            f"{failure.shrink.shrunk_ops} ops "
+            f"({failure.shrink.evaluations} replays)"
+        )
+    if args.out:
+        failure.bundle.save(args.out)
+        print(f"repro bundle written to {args.out}")
+    else:
+        print("re-run with --out bundle.json to save a replayable bundle")
+    return 1
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from .datasets import load, names
 
@@ -333,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="decomposition implementation: dict-based reference, "
         "flat-array CSR kernels, or auto (size-based, default)",
+    )
+    p.add_argument(
+        "--membership",
+        action="store_true",
+        help="track AddToCore/DelFromCore membership (reference backend "
+        "only; auto degrades, csr errors)",
     )
     p.set_defaults(func=_cmd_decompose)
 
@@ -409,6 +526,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("delete", "rewire"), default="delete")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential oracle fuzzing of dynamic kappa maintenance",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ops", type=int, default=500, help="ops per workload profile"
+    )
+    p.add_argument(
+        "--profile",
+        choices=(
+            "all",
+            "adversarial",
+            "churn",
+            "grow_shrink",
+            "triangle_bursts",
+            "uniform",
+        ),
+        default="all",
+        help="workload profile to run (default: all)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        dest="checkpoint_every",
+        help="full oracle-matrix comparison cadence in ops",
+    )
+    p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug a divergence to a locally minimal script",
+    )
+    p.add_argument(
+        "--out", help="write a replayable JSON repro bundle here on divergence"
+    )
+    p.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        help="replay a repro bundle instead of generating workloads",
+    )
+    p.add_argument(
+        "--perturb-level",
+        type=int,
+        dest="perturb_level",
+        help="self-test: inject an off-by-one kappa bug at this level and "
+        "verify the harness catches it",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("datasets", help="list built-in datasets")
     p.set_defaults(func=_cmd_datasets)

@@ -1,0 +1,157 @@
+"""Automatic shrinking: delta-debugging edit scripts to a local minimum.
+
+Given a failing script and a ``fails(script) -> bool`` predicate (normally
+"the oracle runner reports a divergence"), :func:`shrink_script` searches
+for a smaller script that still fails, using three reduction passes run to
+a fixed point:
+
+1. **Chunk deletion** (ddmin-style): try removing contiguous chunks at
+   geometrically shrinking granularity, down to single ops.
+2. **Pair cancellation**: an ``add(u, v)`` whose edge is later removed by a
+   ``remove(u, v)`` with no other op touching that edge in between is a
+   structural no-op pair; try dropping both at once.  Chunk deletion alone
+   cannot find these (dropping either op alone changes the final graph).
+3. **Dense relabeling**: rename vertices to ``0..n-1`` in first-appearance
+   order, normalizing the script so shrunk corpus bundles are canonical and
+   diffable.
+
+Every candidate reduction is *verified* by re-running ``fails`` before it
+is accepted, so the result is guaranteed to still fail — the shrinker can
+be slow, but it cannot lie.  Because edit scripts are total (invalid ops
+are well-defined adversarial ops, see :mod:`repro.testing.editscript`),
+every subset of a script is itself a valid script and the search space has
+no holes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .editscript import EditOp, EditScript, canonical_edge
+
+FailsPredicate = Callable[[EditScript], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized script plus search statistics."""
+
+    script: EditScript
+    original_ops: int
+    evaluations: int  #: number of ``fails`` invocations spent
+    rounds: int       #: full fixed-point iterations
+
+    @property
+    def shrunk_ops(self) -> int:
+        return len(self.script)
+
+
+def _try(ops: List[EditOp], fails: FailsPredicate, counter: List[int]) -> bool:
+    counter[0] += 1
+    return fails(EditScript(ops=ops))
+
+
+def _chunk_pass(
+    ops: List[EditOp], fails: FailsPredicate, counter: List[int]
+) -> List[EditOp]:
+    """Remove contiguous chunks, halving chunk size down to one op."""
+    size = max(len(ops) // 2, 1)
+    while size >= 1:
+        start = 0
+        while start < len(ops):
+            candidate = ops[:start] + ops[start + size:]
+            if len(candidate) < len(ops) and _try(candidate, fails, counter):
+                ops = candidate
+                # Do not advance: the next chunk slid into this position.
+            else:
+                start += size
+        if size == 1:
+            break
+        size //= 2
+    return ops
+
+
+def _pair_pass(
+    ops: List[EditOp], fails: FailsPredicate, counter: List[int]
+) -> List[EditOp]:
+    """Cancel add/remove pairs on the same edge with no op in between."""
+    index = 0
+    while index < len(ops):
+        op = ops[index]
+        if op.kind != "add" or op.u == op.v:
+            index += 1
+            continue
+        edge = canonical_edge(op.u, op.v)
+        partner = -1
+        for later in range(index + 1, len(ops)):
+            other = ops[later]
+            if other.v is None:
+                if other.u in edge:
+                    break  # vertex op touching an endpoint: unsafe to cancel
+                continue
+            if canonical_edge(other.u, other.v) == edge:
+                if other.kind == "remove":
+                    partner = later
+                break
+        if partner >= 0:
+            candidate = [
+                op2
+                for position, op2 in enumerate(ops)
+                if position not in (index, partner)
+            ]
+            if _try(candidate, fails, counter):
+                ops = candidate
+                continue
+        index += 1
+    return ops
+
+
+def _relabel_pass(
+    ops: List[EditOp], fails: FailsPredicate, counter: List[int]
+) -> List[EditOp]:
+    """Rename vertices densely to 0..n-1 in first-appearance order."""
+    script = EditScript(ops=ops)
+    mapping = {vertex: index for index, vertex in enumerate(script.vertices())}
+    if all(old == new for old, new in mapping.items()):
+        return ops
+    candidate = script.relabeled(mapping).ops
+    if _try(candidate, fails, counter):
+        return candidate
+    return ops
+
+
+def shrink_script(
+    script: EditScript,
+    fails: FailsPredicate,
+    *,
+    max_rounds: int = 10,
+) -> ShrinkResult:
+    """Minimize ``script`` while ``fails`` keeps returning True.
+
+    Raises ``ValueError`` if the input script does not fail to begin with
+    (shrinking a passing script would silently return garbage).
+    """
+    counter = [0]
+    if not _try(list(script.ops), fails, counter):
+        raise ValueError("cannot shrink: the input script does not fail")
+    ops = list(script.ops)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        before = list(ops)
+        ops = _chunk_pass(ops, fails, counter)
+        ops = _pair_pass(ops, fails, counter)
+        ops = _relabel_pass(ops, fails, counter)
+        if ops == before:
+            break
+    result = EditScript(ops=ops, name=script.name and f"{script.name}/shrunk")
+    assert _try(list(result.ops), fails, counter), (
+        "shrinker invariant broken: accepted script no longer fails"
+    )
+    return ShrinkResult(
+        script=result,
+        original_ops=len(script),
+        evaluations=counter[0],
+        rounds=rounds,
+    )

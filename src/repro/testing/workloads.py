@@ -1,0 +1,218 @@
+"""Deterministic, seed-driven workload generators for the fuzzing harness.
+
+Each profile is a function ``(seed, n_ops) -> EditScript`` producing the
+same script for the same arguments on every platform and Python version
+(only :class:`random.Random` with an explicit seed, no iteration-order
+dependence).  The profiles target the distinct failure surfaces of the
+dynamic maintenance algorithms:
+
+``uniform``
+    Unbiased insert/delete mix over a mid-sized vertex pool — the baseline
+    "anything goes" workload.
+``churn``
+    Toggling on a *tiny* fixed vertex set, so the graph repeatedly sweeps
+    through dense states and every update lands in the middle of existing
+    triangle structure (maximum promote/demote cascade pressure per op).
+``triangle_bursts``
+    Explicitly closes triangles in bursts: pick an existing edge, attach an
+    apex to both endpoints.  Drives the level-climb loop of Algorithm 5 and
+    the coupled promotion of fresh triangles whose edges must rise together.
+``grow_shrink``
+    Build-up phase of mostly insertions (with clique-biased pair choice),
+    then a teardown phase of deletions and whole-vertex removals — exercises
+    deep demotion cascades, including the Algorithm 7 seeding rule.
+``adversarial``
+    Valid ops interleaved with deliberately invalid ones — self loops,
+    duplicate insertions, deletions of absent edges, removals of absent
+    vertices — checking that error paths reject cleanly *without* corrupting
+    maintained state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.edge import Vertex
+from ..graph.undirected import Graph
+from .editscript import EditOp, EditScript
+
+
+def _toggle(state: Graph, ops: List[EditOp], u: Vertex, v: Vertex) -> None:
+    """Emit the op that flips edge ``{u, v}`` in the shadow ``state``."""
+    if state.has_edge(u, v):
+        ops.append(EditOp("remove", u, v))
+        state.remove_edge(u, v)
+    else:
+        ops.append(EditOp("add", u, v))
+        state.add_edge(u, v)
+
+
+def uniform_mix(seed: int, n_ops: int, *, n_vertices: int = 32) -> EditScript:
+    """Random insert/delete mix, biased ~60/40 toward insertion."""
+    rng = random.Random(f"uniform:{seed}")
+    pool = list(range(n_vertices))
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    edges: List[Tuple[Vertex, Vertex]] = []
+    while len(ops) < n_ops:
+        if edges and rng.random() < 0.4:
+            index = rng.randrange(len(edges))
+            u, v = edges[index]
+            if state.has_edge(u, v):
+                ops.append(EditOp("remove", u, v))
+                state.remove_edge(u, v)
+                edges[index] = edges[-1]
+                edges.pop()
+                continue
+            edges[index] = edges[-1]
+            edges.pop()
+        u, v = rng.sample(pool, 2)
+        if not state.has_edge(u, v):
+            ops.append(EditOp("add", u, v))
+            state.add_edge(u, v)
+            edges.append((u, v))
+    return EditScript(ops=ops[:n_ops], name=f"uniform/seed={seed}")
+
+
+def churn(seed: int, n_ops: int, *, n_vertices: int = 8) -> EditScript:
+    """Pure toggling on a fixed tiny vertex set (dense-state pressure)."""
+    rng = random.Random(f"churn:{seed}")
+    pool = list(range(n_vertices))
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    for _ in range(n_ops):
+        u, v = rng.sample(pool, 2)
+        _toggle(state, ops, u, v)
+    return EditScript(ops=ops, name=f"churn/seed={seed}")
+
+
+def triangle_bursts(seed: int, n_ops: int, *, n_vertices: int = 24) -> EditScript:
+    """Triangle-closing bursts around existing edges, with sparse removals."""
+    rng = random.Random(f"triangle_bursts:{seed}")
+    pool = list(range(n_vertices))
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    while len(ops) < n_ops:
+        roll = rng.random()
+        existing = [edge for edge in state.edges()]
+        if roll < 0.15 and existing:
+            u, v = rng.choice(existing)
+            ops.append(EditOp("remove", u, v))
+            state.remove_edge(u, v)
+        elif roll < 0.75 and existing:
+            # Burst: close one or more triangles over a random base edge.
+            u, v = rng.choice(existing)
+            for _ in range(rng.randint(1, 3)):
+                w = rng.choice(pool)
+                if w == u or w == v:
+                    continue
+                if not state.has_edge(u, w):
+                    ops.append(EditOp("add", u, w))
+                    state.add_edge(u, w)
+                if not state.has_edge(v, w):
+                    ops.append(EditOp("add", v, w))
+                    state.add_edge(v, w)
+        else:
+            u, v = rng.sample(pool, 2)
+            if not state.has_edge(u, v):
+                ops.append(EditOp("add", u, v))
+                state.add_edge(u, v)
+    return EditScript(ops=ops[:n_ops], name=f"triangle_bursts/seed={seed}")
+
+
+def grow_shrink(seed: int, n_ops: int, *, n_vertices: int = 28) -> EditScript:
+    """Mostly-insert growth phase, then a teardown of deletions + vertices."""
+    rng = random.Random(f"grow_shrink:{seed}")
+    pool = list(range(n_vertices))
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    grow_budget = max(1, (2 * n_ops) // 3)
+    # Growth: clique-biased — prefer pairs inside a small "hot" subset so the
+    # teardown has real multi-level structure to demolish.
+    hot = pool[: max(5, n_vertices // 3)]
+    while len(ops) < grow_budget:
+        src = hot if rng.random() < 0.6 else pool
+        u, v = rng.sample(src, 2)
+        if not state.has_edge(u, v):
+            ops.append(EditOp("add", u, v))
+            state.add_edge(u, v)
+        elif rng.random() < 0.1:
+            ops.append(EditOp("remove", u, v))
+            state.remove_edge(u, v)
+    # Teardown: random edge deletions plus occasional vertex removals
+    # (restored as isolated vertices so later growth rounds can reuse them).
+    while len(ops) < n_ops:
+        existing = [edge for edge in state.edges()]
+        if not existing:
+            u, v = rng.sample(pool, 2)
+            ops.append(EditOp("add", u, v))
+            state.add_edge(u, v)
+            continue
+        if rng.random() < 0.08:
+            vertex = rng.choice(pool)
+            if state.has_vertex(vertex):
+                ops.append(EditOp("remove_vertex", vertex))
+                state.remove_vertex(vertex)
+                ops.append(EditOp("add_vertex", vertex))
+                state.add_vertex(vertex)
+                continue
+        u, v = rng.choice(existing)
+        ops.append(EditOp("remove", u, v))
+        state.remove_edge(u, v)
+    return EditScript(ops=ops[:n_ops], name=f"grow_shrink/seed={seed}")
+
+
+def adversarial(seed: int, n_ops: int, *, n_vertices: int = 16) -> EditScript:
+    """Valid churn laced with deliberately invalid ops (~30%)."""
+    rng = random.Random(f"adversarial:{seed}")
+    pool = list(range(n_vertices))
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    ghost = n_vertices + 100  # a vertex that is never added
+    for _ in range(n_ops):
+        roll = rng.random()
+        existing = [edge for edge in state.edges()]
+        if roll < 0.08:
+            ops.append(EditOp("add", rng.choice(pool), rng.choice(pool)))
+        elif roll < 0.16 and existing:
+            ops.append(EditOp("add", *rng.choice(existing)))  # duplicate
+        elif roll < 0.24:
+            u, v = rng.sample(pool, 2)
+            if not state.has_edge(u, v):
+                ops.append(EditOp("remove", u, v))  # missing edge
+            else:
+                _toggle(state, ops, u, v)
+        elif roll < 0.30:
+            ops.append(EditOp("remove_vertex", ghost))  # missing vertex
+        else:
+            u, v = rng.sample(pool, 2)
+            _toggle(state, ops, u, v)
+    # The 8% self-loop branch above may emit add(u, u) with u == u only by
+    # chance; force a few in deterministically so the path is always covered.
+    for index in range(0, len(ops), max(1, n_ops // 4)):
+        vertex = rng.choice(pool)
+        ops.insert(index, EditOp("add", vertex, vertex))
+    return EditScript(ops=ops[:n_ops], name=f"adversarial/seed={seed}")
+
+
+#: Profile registry: name -> generator callable.
+PROFILES: Dict[str, Callable[[int, int], EditScript]] = {
+    "uniform": uniform_mix,
+    "churn": churn,
+    "triangle_bursts": triangle_bursts,
+    "grow_shrink": grow_shrink,
+    "adversarial": adversarial,
+}
+
+
+def generate(profile: str, seed: int, n_ops: int) -> EditScript:
+    """Generate the ``profile`` workload for ``(seed, n_ops)``."""
+    try:
+        generator = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {profile!r}; "
+            f"expected one of {sorted(PROFILES)}"
+        ) from None
+    return generator(seed, n_ops)

@@ -60,6 +60,32 @@ class TestDecompose:
         assert main(["decompose", "synthetic"]) == 0
         assert "kappa histogram" in capsys.readouterr().out
 
+    def test_membership_with_csr_backend_is_rejected(self, edge_file, capsys):
+        # PR 1 error path: the CSR kernels cannot track AddToCore/DelFromCore
+        # state, so an explicit csr request with membership must fail loudly.
+        assert main(
+            ["decompose", edge_file, "--backend", "csr", "--membership"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--membership" in err
+        assert "reference" in err
+
+    def test_membership_with_auto_backend_degrades(self, edge_file, capsys):
+        # PR 1 degradation path: auto silently falls back to the reference
+        # implementation when membership bookkeeping is requested.
+        assert main(
+            ["decompose", edge_file, "--backend", "auto", "--membership"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "membership:" in out
+        assert "max kappa = 1" in out
+
+    def test_explicit_csr_backend_without_membership_works(
+        self, edge_file, capsys
+    ):
+        assert main(["decompose", edge_file, "--backend", "csr"]) == 0
+        assert "max kappa = 1" in capsys.readouterr().out
+
 
 class TestPlot:
     def test_ascii(self, edge_file, capsys):
@@ -204,3 +230,68 @@ class TestNewSubcommands:
         out = capsys.readouterr().out
         assert "baseline densest core" in out
         assert "breakdown" in out
+
+
+class TestFuzz:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--ops", "60", "--checkpoint-every", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        for profile in ("uniform", "churn", "triangle_bursts"):
+            assert profile in out
+
+    def test_single_profile_selection(self, capsys):
+        assert main(
+            ["fuzz", "--ops", "40", "--profile", "churn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "churn" in out
+        assert "uniform" not in out
+
+    def test_perturbed_self_test_detects_shrinks_and_dumps(
+        self, tmp_path, capsys
+    ):
+        bundle_path = tmp_path / "bundle.json"
+        assert main(
+            [
+                "fuzz",
+                "--ops", "200",
+                "--profile", "triangle_bursts",
+                "--perturb-level", "1",
+                "--shrink",
+                "--out", str(bundle_path),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "shrunk" in out
+        assert bundle_path.exists()
+        from repro.testing import ReproBundle
+
+        bundle = ReproBundle.load(bundle_path)
+        assert len(bundle.script) <= 10
+        assert bundle.divergence is not None
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        bundle_path = tmp_path / "bundle.json"
+        main(
+            [
+                "fuzz",
+                "--ops", "200",
+                "--profile", "triangle_bursts",
+                "--perturb-level", "1",
+                "--shrink",
+                "--out", str(bundle_path),
+            ]
+        )
+        capsys.readouterr()
+        # The shrunk script replays clean against the *real* maintainer...
+        assert main(["fuzz", "--replay", str(bundle_path)]) == 0
+        assert "replay clean" in capsys.readouterr().out
+        # ...and still trips the injected bug when asked to re-inject it.
+        assert main(
+            ["fuzz", "--replay", str(bundle_path), "--perturb-level", "1"]
+        ) == 1
+        assert "DIVERGED" in capsys.readouterr().out

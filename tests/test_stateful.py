@@ -24,6 +24,7 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.baselines.recompute import RecomputeBaseline
 from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
 from repro.graph import Graph
 
@@ -119,6 +120,88 @@ class StoredModeMachine(DynamicMaintainerMachine):
         assert self.maintainer._store.is_consistent()
 
 
+class DiffApplyBaselineMachine(RuleBasedStateMachine):
+    """Drive ``diff_apply`` and ``remove_vertex`` against RecomputeBaseline.
+
+    The main machine above checks kappa against a fresh Algorithm 1 run;
+    this one pits the maintainer against the paper's Table III baseline
+    object (an independently-mutated graph plus recompute) after *every*
+    rule, and additionally checks that each :class:`KappaDelta` is exact
+    bookkeeping: ``before + delta == after``, edge for edge.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.maintainer = DynamicTriangleKCore(
+            Graph(vertices=VERTICES), copy=False
+        )
+        self.baseline = RecomputeBaseline(Graph(vertices=VERTICES))
+
+    @rule(
+        pairs=st.lists(
+            st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES)),
+            max_size=6,
+        ),
+        strategy=st.sampled_from(["incremental", "recompute", "auto"]),
+    )
+    def diff_apply_batch(self, pairs, strategy):
+        graph = self.maintainer.graph
+        added, removed, seen = [], [], set()
+        for u, v in pairs:
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            if graph.has_edge(u, v):
+                removed.append((u, v))
+            elif graph.has_vertex(u) and graph.has_vertex(v):
+                added.append((u, v))
+        before = dict(self.maintainer.kappa)
+        delta = self.maintainer.diff_apply(
+            added=added, removed=removed, strategy=strategy
+        )
+        after = dict(self.maintainer.kappa)
+        # Delta arithmetic must reconstruct the after-map exactly.
+        rebuilt = dict(before)
+        for edge, old in delta.deleted.items():
+            assert rebuilt.pop(edge) == old
+        for edge, k in delta.created.items():
+            assert edge not in rebuilt
+            rebuilt[edge] = k
+        for edge, (old, new) in delta.promoted.items():
+            assert rebuilt[edge] == old and new > old
+            rebuilt[edge] = new
+        for edge, (old, new) in delta.demoted.items():
+            assert rebuilt[edge] == old and new < old
+            rebuilt[edge] = new
+        assert rebuilt == after
+        assert delta.touched_edges() == {
+            e for e in set(before) | set(after)
+            if before.get(e) != after.get(e)
+        }
+        assert delta.is_empty == (before == after)
+        self.baseline.apply(added=added, removed=removed)
+
+    @rule(vertex=st.sampled_from(VERTICES))
+    def remove_vertex(self, vertex):
+        if not self.maintainer.graph.has_vertex(vertex):
+            self.maintainer.add_vertex(vertex)
+            return
+        incident = [
+            (vertex, neighbor)
+            for neighbor in self.maintainer.graph.neighbors(vertex)
+        ]
+        self.maintainer.remove_vertex(vertex)
+        self.maintainer.add_vertex(vertex)
+        self.baseline.apply(removed=incident)
+
+    @invariant()
+    def kappa_matches_recompute_baseline(self):
+        assert self.maintainer.kappa == self.baseline.kappa
+
+
 TestDynamicMaintainerMachine = DynamicMaintainerMachine.TestCase
 TestDynamicMaintainerMachine.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
@@ -127,4 +210,9 @@ TestDynamicMaintainerMachine.settings = settings(
 TestStoredModeMachine = StoredModeMachine.TestCase
 TestStoredModeMachine.settings = settings(
     max_examples=15, stateful_step_count=25, deadline=None
+)
+
+TestDiffApplyBaselineMachine = DiffApplyBaselineMachine.TestCase
+TestDiffApplyBaselineMachine.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
 )
