@@ -4,13 +4,14 @@
 #                   environments without PEP 660 support)
 #   make test       full unit/property/integration suite
 #   make bench      regenerate every paper table & figure
+#   make bench-engine  engine dispatch/cache/dynamic-timeline gates
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
 #   make artifacts  test + bench with logs captured at the repo root
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples artifacts clean
+.PHONY: install test bench bench-engine figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +21,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_overhead.py -q
 
 figures: bench
 

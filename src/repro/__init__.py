@@ -24,6 +24,7 @@ from .core import (
     kcore_decomposition,
     triangle_kcore_decomposition,
 )
+from .engine import Engine, get_default_engine, set_default_engine
 from .exceptions import (
     DatasetError,
     DecompositionError,
@@ -46,6 +47,7 @@ __all__ = [
     "DynamicTriangleKCore",
     "EdgeExistsError",
     "EdgeNotFoundError",
+    "Engine",
     "Graph",
     "GraphError",
     "ReproError",
@@ -58,6 +60,8 @@ __all__ = [
     "__version__",
     "canonical_edge",
     "canonical_triangle",
+    "get_default_engine",
     "kcore_decomposition",
+    "set_default_engine",
     "triangle_kcore_decomposition",
 ]

@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..graph.edge import Vertex
+from ..engine import resolve_engine
+from ..graph.edge import Edge, Vertex, canonical_edge
 from ..graph.undirected import Graph
-from ..core.maxcore import max_triangle_kcore
-from ..core.triangle_kcore import triangle_kcore_decomposition
 
 
 @dataclass(frozen=True)
@@ -85,10 +84,17 @@ def _jaccard(a: frozenset, b: frozenset) -> float:
     return len(a & b) / union if union else 1.0
 
 
-def perturb_edges(
+def perturbation_diff(
     graph: Graph, fraction: float, *, seed: int = 0, mode: str = "delete"
-) -> Graph:
-    """Return a perturbed copy of ``graph``.
+) -> Tuple[List[Edge], List[Edge]]:
+    """The ``(added, removed)`` edge diff of one perturbation, no copy.
+
+    Draws exactly the same random choices as :func:`perturb_edges` (same
+    seed, same RNG consumption order), so applying the diff to ``graph``
+    reproduces that function's output bit for bit — but as a diff it can
+    also feed :meth:`Engine.perturbed <repro.engine.Engine.perturbed>`,
+    which applies it incrementally and reverts it instead of copying and
+    re-decomposing the whole graph per trial.
 
     ``mode="delete"`` removes a uniform ``fraction`` of edges;
     ``mode="rewire"`` removes them and inserts the same number of uniform
@@ -99,23 +105,80 @@ def perturb_edges(
     if mode not in ("delete", "rewire"):
         raise ValueError(f"mode must be 'delete' or 'rewire', got {mode!r}")
     rng = random.Random(seed)
-    perturbed = graph.copy()
-    edges = sorted(perturbed.edges(), key=repr)
+    edges = sorted(graph.edges(), key=repr)
     rng.shuffle(edges)
     victims = edges[: int(round(fraction * len(edges)))]
-    for u, v in victims:
-        perturbed.remove_edge(u, v)
+    removed = list(victims)
+    added: List[Edge] = []
     if mode == "rewire":
-        vertices = sorted(perturbed.vertices(), key=repr)
+        removed_set = set(victims)
+        added_set: Set[Edge] = set()
+        vertices = sorted(graph.vertices(), key=repr)
         inserted = 0
         attempts = 0
         while inserted < len(victims) and attempts < len(victims) * 50:
             attempts += 1
             u, v = rng.sample(vertices, 2)
-            if not perturbed.has_edge(u, v):
-                perturbed.add_edge(u, v)
+            edge = canonical_edge(u, v)
+            present = (
+                edge in added_set
+                or (graph.has_edge(u, v) and edge not in removed_set)
+            )
+            if not present:
+                added_set.add(edge)
+                added.append(edge)
                 inserted += 1
+    return added, removed
+
+
+def perturb_edges(
+    graph: Graph, fraction: float, *, seed: int = 0, mode: str = "delete"
+) -> Graph:
+    """Return a perturbed copy of ``graph`` (see :func:`perturbation_diff`)."""
+    added, removed = perturbation_diff(graph, fraction, seed=seed, mode=mode)
+    perturbed = graph.copy()
+    for u, v in removed:
+        perturbed.remove_edge(u, v)
+    for u, v in added:
+        perturbed.add_edge(u, v)
     return perturbed
+
+
+def _champion(kappa: Dict[Edge, int]) -> Tuple[int, frozenset]:
+    """``(max kappa, vertices of the level-max subgraph)`` from a kappa map.
+
+    Equivalent to :func:`repro.core.maxcore.max_triangle_kcore` on the same
+    graph (the level-``k_max`` subgraph is exactly the edges with
+    ``kappa == k_max``), but computable from a kappa map alone — which the
+    dynamic perturbation path holds without ever materializing the
+    perturbed graph copy.
+    """
+    if not kappa:
+        return 0, frozenset()
+    k = max(kappa.values())
+    vertices = set()
+    for (u, v), value in kappa.items():
+        if value == k:
+            vertices.add(u)
+            vertices.add(v)
+    return k, frozenset(vertices)
+
+
+def _trial_measurements(
+    kappa: Dict[Edge, int], baseline_core: frozenset
+) -> Tuple[int, frozenset, float, int]:
+    """``(max_kappa, champion core, kappa mean, core_kappa_after)``."""
+    k, core = _champion(kappa)
+    mean = sum(kappa.values()) / len(kappa) if kappa else 0.0
+    core_kappa_after = max(
+        (
+            value
+            for (u, v), value in kappa.items()
+            if u in baseline_core and v in baseline_core
+        ),
+        default=0,
+    )
+    return k, core, mean, core_kappa_after
 
 
 def robustness_report(
@@ -125,11 +188,26 @@ def robustness_report(
     trials_per_fraction: int = 3,
     mode: str = "delete",
     seed: int = 0,
+    method: str = "dynamic",
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> RobustnessReport:
-    """Measure kappa/community stability under random edge perturbation."""
-    baseline = triangle_kcore_decomposition(graph)
-    baseline_k, baseline_core_graph = max_triangle_kcore(graph)
-    baseline_core = frozenset(baseline_core_graph.vertices())
+    """Measure kappa/community stability under random edge perturbation.
+
+    ``method="dynamic"`` (default) routes every trial through the engine's
+    perturbation maintainer: the diff is applied incrementally
+    (Algorithm 2), measured, and reverted — one warm-up decomposition total
+    instead of one full copy + recompute per trial.  ``method="recompute"``
+    is the literal original protocol (perturbed copy, fresh decomposition)
+    kept as a cross-check fallback; both produce identical trials.
+    """
+    if method not in ("dynamic", "recompute"):
+        raise ValueError(
+            f"method must be 'dynamic' or 'recompute', got {method!r}"
+        )
+    eng = resolve_engine(engine)
+    baseline = eng.decompose(graph, backend=backend)
+    baseline_k, baseline_core = _champion(baseline.kappa)
     baseline_mean = (
         sum(baseline.kappa.values()) / len(baseline.kappa)
         if baseline.kappa
@@ -140,33 +218,35 @@ def robustness_report(
     for fraction in fractions:
         for trial_index in range(trials_per_fraction):
             trial_seed = seed + 1000 * trial_index + hash(fraction) % 997
-            perturbed = perturb_edges(
+            added, removed = perturbation_diff(
                 graph, fraction, seed=trial_seed, mode=mode
             )
-            result = triangle_kcore_decomposition(perturbed)
-            k, core_graph = max_triangle_kcore(perturbed)
-            mean = (
-                sum(result.kappa.values()) / len(result.kappa)
-                if result.kappa
-                else 0.0
-            )
-            core_kappa_after = max(
-                (
-                    value
-                    for (u, v), value in result.kappa.items()
-                    if u in baseline_core and v in baseline_core
-                ),
-                default=0,
-            )
+            if method == "dynamic":
+                with eng.perturbed(
+                    graph, added=tuple(added), removed=tuple(removed)
+                ) as maintainer:
+                    k, core, mean, core_kappa_after = _trial_measurements(
+                        maintainer.kappa, baseline_core
+                    )
+            else:
+                perturbed = graph.copy()
+                for u, v in removed:
+                    perturbed.remove_edge(u, v)
+                for u, v in added:
+                    perturbed.add_edge(u, v)
+                result = eng.decompose(
+                    perturbed, backend=backend, use_cache=False
+                )
+                k, core, mean, core_kappa_after = _trial_measurements(
+                    result.kappa, baseline_core
+                )
             trials.append(
                 PerturbationTrial(
                     fraction=fraction,
                     seed=trial_seed,
                     max_kappa=k,
                     kappa_mean_drop=baseline_mean - mean,
-                    core_overlap=_jaccard(
-                        baseline_core, frozenset(core_graph.vertices())
-                    ),
+                    core_overlap=_jaccard(baseline_core, core),
                     core_kappa_after=core_kappa_after,
                 )
             )

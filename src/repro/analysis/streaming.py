@@ -19,10 +19,10 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..engine import resolve_engine
 from ..exceptions import ReproError
 from ..graph.edge import Edge, Vertex, canonical_edge
 from ..graph.undirected import Graph
-from ..core.dynamic import DynamicTriangleKCore
 from ..core.extract import dense_communities
 
 
@@ -44,12 +44,19 @@ class SlidingWindowDensity:
     0
     """
 
-    def __init__(self, *, window: float, store_triangles: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        window: float,
+        store_triangles: bool = False,
+        engine: Optional[object] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = window
-        self._maintainer = DynamicTriangleKCore(
-            Graph(), store_triangles=store_triangles
+        # copy=False: the maintainer owns the (initially empty) graph.
+        self._maintainer = resolve_engine(engine).maintainer(
+            Graph(), copy=False, store_triangles=store_triangles
         )
         self._last_seen: Dict[Edge, float] = {}
         #: (timestamp, edge) min-heap; stale entries are skipped on expiry.

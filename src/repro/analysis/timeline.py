@@ -23,10 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..engine import resolve_engine
 from ..graph.snapshots import SnapshotStream
 from ..graph.undirected import Graph
 from ..core.extract import dense_communities
-from ..core.triangle_kcore import triangle_kcore_decomposition
+from ..core.triangle_kcore import TriangleKCoreResult
 
 
 @dataclass(frozen=True)
@@ -61,10 +62,23 @@ class Transition:
 
 
 def snapshot_communities(
-    graph: Graph, snapshot: int, *, min_kappa: int = 2, max_communities: int = 50
+    graph: Graph,
+    snapshot: int,
+    *,
+    min_kappa: int = 2,
+    max_communities: int = 50,
+    result: Optional[TriangleKCoreResult] = None,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> List[TrackedCommunity]:
-    """Dense communities of one snapshot, densest first."""
-    result = triangle_kcore_decomposition(graph)
+    """Dense communities of one snapshot, densest first.
+
+    Pass ``backend="dynamic"`` (through :func:`track_communities`) to
+    answer successive snapshots by incremental diffs against the engine's
+    warm maintainer instead of a per-snapshot recompute.
+    """
+    if result is None:
+        result = resolve_engine(engine).decompose(graph, backend=backend)
     communities: List[TrackedCommunity] = []
     for count, (level, vertices) in enumerate(
         dense_communities(graph, result, min_kappa=min_kappa)
@@ -112,6 +126,8 @@ def track_communities(
     match_threshold: float = 0.3,
     grow_factor: float = 1.25,
     max_communities: int = 50,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> CommunityTimeline:
     """Build the evolution timeline of a snapshot stream.
 
@@ -126,6 +142,10 @@ def track_communities(
         ``grow`` / ``shrink`` instead of ``continue``.
     max_communities:
         Cap per snapshot (densest first) to bound matching cost.
+    backend / engine:
+        Decomposition routing.  ``backend="dynamic"`` warms the engine's
+        maintainer on the first snapshot and diff-applies each subsequent
+        one (Algorithm 2) — the intended path for long streams.
     """
     timeline = CommunityTimeline()
     for index in range(len(stream)):
@@ -135,6 +155,8 @@ def track_communities(
                 index,
                 min_kappa=min_kappa,
                 max_communities=max_communities,
+                backend=backend,
+                engine=engine,
             )
         )
 

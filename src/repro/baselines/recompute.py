@@ -5,17 +5,31 @@ The paper's Table III compares its incremental update algorithm against
 each batch of edge changes.  This module provides that baseline with the
 same measurement boundary the paper uses — the peel given fresh supports —
 plus a whole-pipeline variant (triangle counting + peel) for context.
+
+All decompositions route through :mod:`repro.engine` with the cache
+disabled (``use_cache=False``): a baseline exists to *measure* recompute
+cost, so serving a cached result would defeat its purpose.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
-from ..core.triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
+from ..core.triangle_kcore import TriangleKCoreResult
+
+
+def _recompute(
+    graph: Graph, backend: Optional[str], engine: Optional[object]
+) -> TriangleKCoreResult:
+    from ..engine import resolve_engine
+
+    return resolve_engine(engine).decompose(
+        graph, backend=backend, use_cache=False
+    )
 
 
 @dataclass
@@ -33,9 +47,18 @@ class RecomputeBaseline:
     the Table III benchmark can drive both through the same loop.
     """
 
-    def __init__(self, graph: Graph, *, copy: bool = True) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        copy: bool = True,
+        backend: Optional[str] = None,
+        engine: Optional[object] = None,
+    ) -> None:
         self._graph = graph.copy() if copy else graph
-        self._result = triangle_kcore_decomposition(self._graph)
+        self._backend = backend
+        self._engine = engine
+        self._result = _recompute(self._graph, backend, engine)
 
     @property
     def graph(self) -> Graph:
@@ -47,11 +70,11 @@ class RecomputeBaseline:
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         self._graph.add_edge(u, v)
-        self._result = triangle_kcore_decomposition(self._graph)
+        self._result = _recompute(self._graph, self._backend, self._engine)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         self._graph.remove_edge(u, v)
-        self._result = triangle_kcore_decomposition(self._graph)
+        self._result = _recompute(self._graph, self._backend, self._engine)
 
     def apply(
         self,
@@ -68,14 +91,19 @@ class RecomputeBaseline:
         for u, v in added:
             self._graph.add_edge(u, v)
         start = time.perf_counter()
-        self._result = triangle_kcore_decomposition(self._graph)
+        self._result = _recompute(self._graph, self._backend, self._engine)
         return RecomputeRun(
             result=self._result, seconds=time.perf_counter() - start
         )
 
 
-def timed_recompute(graph: Graph) -> RecomputeRun:
+def timed_recompute(
+    graph: Graph,
+    *,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
+) -> RecomputeRun:
     """Run the static decomposition once and time it."""
     start = time.perf_counter()
-    result = triangle_kcore_decomposition(graph)
+    result = _recompute(graph, backend, engine)
     return RecomputeRun(result=result, seconds=time.perf_counter() - start)

@@ -6,6 +6,7 @@ Subcommands
 * ``decompose`` — run Algorithm 1 on an edge-list file or named dataset and
   print the kappa histogram (optionally dump per-edge values).
 * ``plot`` — render the density plot of a graph to ASCII or SVG.
+* ``dualview`` — Algorithm 3's two linked plots for a snapshot pair.
 * ``update`` — benchmark incremental maintenance vs recompute on a graph
   with a random churn fraction (a one-dataset Table III row).
 * ``templates`` — detect New Form / Bridge / New Join cliques between two
@@ -14,11 +15,19 @@ Subcommands
 * ``fuzz`` — differential oracle fuzzing of the dynamic maintainer
   (see docs/testing.md): generate seeded workloads, cross-check every
   oracle, shrink and dump any divergence as a replayable JSON bundle.
+
+Every decomposition-running subcommand routes through a private
+:class:`repro.engine.Engine` and accepts ``--backend`` (any engine
+backend, including ``dynamic``) plus ``--stats``, which prints the
+engine's structured instrumentation payload as one JSON object on the
+last line of output (machine-readable; everything else goes to the lines
+above it).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -36,26 +45,59 @@ def _load_graph(spec: str) -> Graph:
     return read_edge_list(spec)
 
 
-def _cmd_decompose(args: argparse.Namespace) -> int:
-    from .core import triangle_kcore_decomposition
+def _make_engine(args: argparse.Namespace):
+    """Fresh engine per invocation so ``--stats`` covers exactly this run."""
+    from .engine import Engine
 
-    if args.membership and args.backend == "csr":
+    return Engine(default_backend=getattr(args, "backend", None) or "auto")
+
+
+def _emit_stats(args: argparse.Namespace, engine) -> None:
+    """Print the instrumentation payload as the last output line."""
+    if getattr(args, "stats", False):
+        print(json.dumps(engine.stats_dict(), sort_keys=True))
+
+
+def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
+    from .engine import BACKENDS
+
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="decomposition implementation: dict-based reference, "
+        "flat-array CSR kernels, incremental dynamic maintenance, or "
+        "auto (size-based, default)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine instrumentation (stage timings, counters, "
+        "cache hits) as one JSON object on the last line",
+    )
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    backend = args.backend or "auto"
+    if args.membership and backend in ("csr", "dynamic"):
         print(
-            "error: --membership needs the reference backend (the CSR "
-            "kernels do not track AddToCore/DelFromCore state); drop "
-            "--backend csr or use --backend auto/reference",
+            f"error: --membership needs the reference backend (the "
+            f"{backend} backend does not track AddToCore/DelFromCore "
+            f"state); drop --backend {backend} or use --backend "
+            f"auto/reference",
             file=sys.stderr,
         )
         return 2
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
     start = time.perf_counter()
-    result = triangle_kcore_decomposition(
-        graph, backend=args.backend, store_membership=args.membership
+    result = engine.decompose(
+        graph, backend=backend, store_membership=args.membership
     )
     elapsed = time.perf_counter() - start
     print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
     print(
-        f"decomposition ({args.backend} backend): {elapsed:.3f}s, "
+        f"decomposition ({backend} backend): {elapsed:.3f}s, "
         f"max kappa = {result.max_kappa}"
     )
     print("kappa histogram (kappa: edges):")
@@ -79,14 +121,16 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                 for (u, v), k in sorted(result.kappa.items(), key=repr):
                     handle.write(f"{u} {v} {k}\n")
         print(f"per-edge kappa written to {args.output}")
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_communities(args: argparse.Namespace) -> int:
     from .core import CommunityIndex
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
-    index = CommunityIndex(graph)
+    index = CommunityIndex(graph, backend=args.backend, engine=engine)
     if args.vertex is not None:
         vertex: object = args.vertex
         if not graph.has_vertex(vertex):
@@ -100,6 +144,7 @@ def _cmd_communities(args: argparse.Namespace) -> int:
             f"(~{level + 2}-clique), {len(members)} vertices"
         )
         print("  " + ", ".join(sorted(map(str, members))[:20]))
+        _emit_stats(args, engine)
         return 0
     level = args.level if args.level is not None else index.max_level
     communities = index.communities_at(level)
@@ -109,11 +154,11 @@ def _cmd_communities(args: argparse.Namespace) -> int:
 
         vertices = sorted(map(str, vertex_set_of_edges(edges)))
         print(f"  #{rank}: {len(vertices)} vertices: {', '.join(vertices[:12])}")
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_plot(args: argparse.Namespace) -> int:
-    from .core import triangle_kcore_decomposition
     from .viz import (
         density_plot,
         density_plot_svg,
@@ -123,8 +168,9 @@ def _cmd_plot(args: argparse.Namespace) -> int:
         save_svg,
     )
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
-    result = triangle_kcore_decomposition(graph)
+    result = engine.decompose(graph, backend=args.backend)
     plot = density_plot(graph, result, title=args.graph)
     if args.interactive:
         save_explorer(
@@ -137,14 +183,42 @@ def _cmd_plot(args: argparse.Namespace) -> int:
         print(f"SVG written to {args.svg}")
     else:
         print(render(plot, height=args.height, width=args.width))
+    _emit_stats(args, engine)
+    return 0
+
+
+def _cmd_dualview(args: argparse.Namespace) -> int:
+    from .viz import density_plot_svg, render, save_svg
+    from .viz.dual_view import dual_view_from_snapshots
+
+    engine = _make_engine(args)
+    old_graph = _load_graph(args.old)
+    new_graph = _load_graph(args.new)
+    views = dual_view_from_snapshots(
+        old_graph, new_graph, backend=args.backend, engine=engine
+    )
+    print(
+        f"dual view: +{len(views.added_edges)} / -{len(views.removed_edges)} "
+        f"edges between snapshots"
+    )
+    if args.svg:
+        before_path = f"{args.svg}_before.svg"
+        after_path = f"{args.svg}_after.svg"
+        save_svg(density_plot_svg(views.before), before_path)
+        save_svg(density_plot_svg(views.after), after_path)
+        print(f"SVGs written to {before_path} and {after_path}")
+    else:
+        print(render(views.before, height=args.height, width=args.width))
+        print(render(views.after, height=args.height, width=args.width))
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
     from .baselines.recompute import RecomputeBaseline
-    from .core.dynamic import DynamicTriangleKCore
     from .graph.generators import random_edge_sample, random_non_edges
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
     removed = random_edge_sample(graph, args.fraction / 2, seed=args.seed)
     added = random_non_edges(
@@ -155,12 +229,12 @@ def _cmd_update(args: argparse.Namespace) -> int:
         f"churn: +{len(added)} / -{len(removed)} edges"
     )
 
-    maintainer = DynamicTriangleKCore(graph)
+    maintainer = engine.maintainer(graph)
     start = time.perf_counter()
     maintainer.apply(added=added, removed=removed)
     update_seconds = time.perf_counter() - start
 
-    baseline = RecomputeBaseline(graph)
+    baseline = RecomputeBaseline(graph, engine=engine)
     run = baseline.apply(added=added, removed=removed)
 
     assert maintainer.kappa == baseline.kappa, "dynamic != recompute"
@@ -168,16 +242,20 @@ def _cmd_update(args: argparse.Namespace) -> int:
     print(f"recompute (peel):   {run.seconds:.4f}s")
     if update_seconds > 0:
         print(f"speedup: {run.seconds / update_seconds:.1f}x")
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_templates(args: argparse.Namespace) -> int:
     from .templates import BUILTIN_TEMPLATES, detect_on_snapshots
 
+    engine = _make_engine(args)
     old_graph = _load_graph(args.old)
     new_graph = _load_graph(args.new)
     spec = BUILTIN_TEMPLATES[args.pattern]
-    detection = detect_on_snapshots(old_graph, new_graph, spec)
+    detection = detect_on_snapshots(
+        old_graph, new_graph, spec, backend=args.backend, engine=engine
+    )
     print(
         f"{spec.name}: {len(detection.characteristic_triangles)} "
         f"characteristic triangles, {len(detection.special_edges)} special "
@@ -190,18 +268,20 @@ def _cmd_templates(args: argparse.Namespace) -> int:
             f"  #{index + 1}: ~{kappa + 2}-vertex pattern clique: "
             f"{sorted(vertices, key=repr)}"
         )
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .core import triangle_kcore_decomposition
     from .viz import decomposition_report
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
-    result = triangle_kcore_decomposition(graph)
+    result = engine.decompose(graph, backend=args.backend)
     report = decomposition_report(graph, result, title=f"Analysis of {args.graph}")
     report.save(args.output)
     print(f"HTML report written to {args.output}")
+    _emit_stats(args, engine)
     return 0
 
 
@@ -209,6 +289,7 @@ def _cmd_events(args: argparse.Namespace) -> int:
     from .analysis import track_communities
     from .graph import SnapshotStream
 
+    engine = _make_engine(args)
     if args.dataset:
         from .datasets import load
 
@@ -225,7 +306,12 @@ def _cmd_events(args: argparse.Namespace) -> int:
         stream = SnapshotStream(snapshots)
         labels = [str(i) for i in range(len(stream))]
 
-    timeline = track_communities(stream, min_kappa=args.min_kappa)
+    timeline = track_communities(
+        stream,
+        min_kappa=args.min_kappa,
+        backend=args.backend,
+        engine=engine,
+    )
     print(f"summary: {timeline.summary()}")
     for transition in timeline.transitions:
         if transition.kind == "continue" and not args.verbose:
@@ -236,15 +322,18 @@ def _cmd_events(args: argparse.Namespace) -> int:
             f"  {labels[transition.snapshot]}: {transition.kind} "
             f"{before} -> {after}"
         )
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_hierarchy(args: argparse.Namespace) -> int:
     from .core import CommunityHierarchy
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
-    hierarchy = CommunityHierarchy(graph)
+    hierarchy = CommunityHierarchy(graph, backend=args.backend, engine=engine)
     print(hierarchy.ascii_tree(max_children=args.max_children))
+    _emit_stats(args, engine)
     return 0
 
 
@@ -270,6 +359,7 @@ def _cmd_maxcore(args: argparse.Namespace) -> int:
 def _cmd_probe(args: argparse.Namespace) -> int:
     from .core import kappa_bounds
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
 
     def resolve(token: str) -> object:
@@ -283,7 +373,13 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 
     u, v = resolve(args.u), resolve(args.v)
     lower, upper = kappa_bounds(
-        graph, u, v, radius=args.radius, sweeps=args.radius
+        graph,
+        u,
+        v,
+        radius=args.radius,
+        sweeps=args.radius,
+        backend=args.backend,
+        engine=engine,
     )
     certainty = "exact" if lower == upper else "bounds"
     print(
@@ -295,12 +391,14 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         + (f"-to-{upper + 2}" if lower != upper else "")
         + "-vertex clique-like structure"
     )
+    _emit_stats(args, engine)
     return 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from .analysis import robustness_report
 
+    engine = _make_engine(args)
     graph = _load_graph(args.graph)
     fractions = tuple(args.fractions)
     report = robustness_report(
@@ -309,6 +407,9 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         trials_per_fraction=args.trials,
         mode=args.mode,
         seed=args.seed,
+        method=args.method,
+        backend=args.backend,
+        engine=engine,
     )
     print(
         f"baseline densest core: kappa {report.baseline_max_kappa}, "
@@ -322,6 +423,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
             f"{report.mean_core_overlap(fraction):.2f}"
         )
     print(f"breakdown (<50% density retained) at ~{report.breakdown_fraction():.0%}")
+    _emit_stats(args, engine)
     return 0
 
 
@@ -439,18 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph", help="dataset name or edge-list path")
     p.add_argument("-o", "--output", help="write per-edge kappa here")
     p.add_argument(
-        "--backend",
-        choices=("auto", "reference", "csr"),
-        default="auto",
-        help="decomposition implementation: dict-based reference, "
-        "flat-array CSR kernels, or auto (size-based, default)",
-    )
-    p.add_argument(
         "--membership",
         action="store_true",
         help="track AddToCore/DelFromCore membership (reference backend "
-        "only; auto degrades, csr errors)",
+        "only; auto degrades, csr/dynamic error)",
     )
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_decompose)
 
     p = sub.add_parser("plot", help="density plot (ASCII or SVG)")
@@ -461,7 +557,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--height", type=int, default=12)
     p.add_argument("--width", type=int, default=100)
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_plot)
+
+    p = sub.add_parser(
+        "dualview", help="Dual View Plots for a snapshot pair (Algorithm 3)"
+    )
+    p.add_argument("old", help="old snapshot (dataset name or path)")
+    p.add_argument("new", help="new snapshot (dataset name or path)")
+    p.add_argument(
+        "--svg",
+        help="write <PREFIX>_before.svg / <PREFIX>_after.svg instead of ASCII",
+        metavar="PREFIX",
+    )
+    p.add_argument("--height", type=int, default=12)
+    p.add_argument("--width", type=int, default=100)
+    _add_engine_arguments(p)
+    p.set_defaults(func=_cmd_dualview)
 
     p = sub.add_parser("update", help="incremental vs recompute timing")
     p.add_argument("graph", help="dataset name or edge-list path")
@@ -469,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fraction", type=float, default=0.01, help="churn fraction (paper: 1%%)"
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_update)
 
     p = sub.add_parser("templates", help="template pattern cliques")
@@ -480,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="new_form",
     )
     p.add_argument("--top", type=int, default=3)
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_templates)
 
     p = sub.add_parser("communities", help="triangle-connected communities")
@@ -487,11 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", type=int, help="level k (default: max)")
     p.add_argument("--vertex", help="query one vertex's densest community")
     p.add_argument("--top", type=int, default=5)
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_communities)
 
     p = sub.add_parser("report", help="write a standalone HTML report")
     p.add_argument("graph", help="dataset name or edge-list path")
     p.add_argument("-o", "--output", default="report.html")
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("events", help="community evolution over snapshots")
@@ -499,11 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", help="use a built-in snapshot dataset instead")
     p.add_argument("--min-kappa", type=int, default=2, dest="min_kappa")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_events)
 
     p = sub.add_parser("hierarchy", help="nested community dendrogram")
     p.add_argument("graph", help="dataset name or edge-list path")
     p.add_argument("--max-children", type=int, default=8, dest="max_children")
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_hierarchy)
 
     p = sub.add_parser("maxcore", help="densest Triangle K-Core, top-down")
@@ -515,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("u")
     p.add_argument("v")
     p.add_argument("--radius", type=int, default=2)
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_probe)
 
     p = sub.add_parser("robustness", help="noise sensitivity of the densest core")
@@ -525,6 +644,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--mode", choices=("delete", "rewire"), default="delete")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--method",
+        choices=("dynamic", "recompute"),
+        default="dynamic",
+        help="per-trial measurement: incremental perturb-and-revert via "
+        "the engine's maintainer (default) or literal copy + recompute",
+    )
+    _add_engine_arguments(p)
     p.set_defaults(func=_cmd_robustness)
 
     p = sub.add_parser(

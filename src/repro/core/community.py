@@ -22,7 +22,18 @@ from ..exceptions import EdgeNotFoundError, VertexNotFoundError
 from ..graph.edge import Edge, Vertex, canonical_edge
 from ..graph.undirected import Graph
 from .extract import triangle_connected_component, vertex_set_of_edges
-from .triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
+from .triangle_kcore import TriangleKCoreResult
+
+
+def _decompose(graph, backend, engine) -> TriangleKCoreResult:
+    """Route the default decomposition through the engine layer.
+
+    Imported lazily because :mod:`repro.engine` sits above ``repro.core``
+    in the layer stack (it imports this package's siblings).
+    """
+    from ..engine import resolve_engine
+
+    return resolve_engine(engine).decompose(graph, backend=backend)
 
 
 class _EdgeUnionFind:
@@ -68,10 +79,17 @@ class CommunityIndex:
     """
 
     def __init__(
-        self, graph: Graph, result: Optional[TriangleKCoreResult] = None
+        self,
+        graph: Graph,
+        result: Optional[TriangleKCoreResult] = None,
+        *,
+        backend: Optional[str] = None,
+        engine: Optional[object] = None,
     ) -> None:
         self._graph = graph
-        self._result = result or triangle_kcore_decomposition(graph)
+        self._result = (
+            result if result is not None else _decompose(graph, backend, engine)
+        )
         #: level -> {edge: component root}; only levels 1..max_kappa.
         self._labels: Dict[int, Dict[Edge, Edge]] = {}
         self._build()
@@ -206,13 +224,16 @@ def community_of_edge(
     *,
     k: Optional[int] = None,
     result: Optional[TriangleKCoreResult] = None,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> Set[Edge]:
     """One-shot community search for an edge (BFS, no index).
 
     Equivalent to ``CommunityIndex(graph, result).community_of_edge(u, v, k)``
     but only explores the queried component.
     """
-    result = result or triangle_kcore_decomposition(graph)
+    if result is None:
+        result = _decompose(graph, backend, engine)
     edge = canonical_edge(u, v)
     if edge not in result.kappa:
         raise EdgeNotFoundError(u, v)
@@ -229,9 +250,12 @@ def community_of_vertex(
     *,
     k: Optional[int] = None,
     result: Optional[TriangleKCoreResult] = None,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> List[Set[Vertex]]:
     """One-shot community search for a vertex (BFS, no index)."""
-    result = result or triangle_kcore_decomposition(graph)
+    if result is None:
+        result = _decompose(graph, backend, engine)
     if not graph.has_vertex(vertex):
         raise VertexNotFoundError(vertex)
     incident = [canonical_edge(vertex, w) for w in graph.neighbors(vertex)]

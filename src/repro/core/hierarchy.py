@@ -89,9 +89,14 @@ class CommunityHierarchy:
     """
 
     def __init__(
-        self, graph: Graph, result: Optional[TriangleKCoreResult] = None
+        self,
+        graph: Graph,
+        result: Optional[TriangleKCoreResult] = None,
+        *,
+        backend: Optional[str] = None,
+        engine: Optional[object] = None,
     ) -> None:
-        index = CommunityIndex(graph, result)
+        index = CommunityIndex(graph, result, backend=backend, engine=engine)
         self._result = index.result
         self.roots: List[CommunityNode] = []
         nodes_by_level: Dict[int, List[CommunityNode]] = {}

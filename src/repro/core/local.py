@@ -22,12 +22,11 @@ the true kappa for large enough budgets (property-tested).
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..exceptions import EdgeNotFoundError
 from ..graph.edge import Edge, Vertex, canonical_edge
 from ..graph.undirected import Graph
-from .triangle_kcore import triangle_kcore_decomposition
 
 
 def ball_vertices(graph: Graph, u: Vertex, v: Vertex, radius: int) -> Set[Vertex]:
@@ -52,17 +51,31 @@ def edge_ball(graph: Graph, u: Vertex, v: Vertex, radius: int) -> Graph:
     return graph.subgraph(ball_vertices(graph, u, v, radius))
 
 
-def kappa_lower_bound(graph: Graph, u: Vertex, v: Vertex, *, radius: int = 2) -> int:
+def kappa_lower_bound(
+    graph: Graph,
+    u: Vertex,
+    v: Vertex,
+    *,
+    radius: int = 2,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
+) -> int:
     """Certified lower bound from the radius-``radius`` induced ball.
 
     Exact whenever the ball contains the edge's maximum Triangle K-Core
     (radius >= its diameter from the edge); always sound because a
     subgraph's Triangle K-Core is one of the supergraph's.
     """
+    from ..engine import resolve_engine
+
     if not graph.has_edge(u, v):
         raise EdgeNotFoundError(u, v)
     ball = edge_ball(graph, u, v, radius)
-    result = triangle_kcore_decomposition(ball)
+    # The ball is a throwaway graph, so the engine's cache cannot help —
+    # but dispatch (and instrumentation) should still see the probe.
+    result = resolve_engine(engine).decompose(
+        ball, backend=backend, use_cache=False
+    )
     return result.kappa_of(u, v)
 
 
@@ -121,6 +134,8 @@ def kappa_bounds(
     *,
     radius: int = 2,
     sweeps: int = 2,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> Tuple[int, int]:
     """``(lower, upper)`` certified bounds on kappa of edge ``{u, v}``.
 
@@ -128,6 +143,8 @@ def kappa_bounds(
     >>> kappa_bounds(complete_graph(6), 0, 1)
     (4, 4)
     """
-    lower = kappa_lower_bound(graph, u, v, radius=radius)
+    lower = kappa_lower_bound(
+        graph, u, v, radius=radius, backend=backend, engine=engine
+    )
     upper = kappa_upper_bound(graph, u, v, sweeps=sweeps)
     return lower, upper

@@ -111,6 +111,7 @@ def triangle_kcore_decomposition(
     *,
     store_membership: bool = False,
     backend: str = "auto",
+    counters: Optional[Dict[str, int]] = None,
 ) -> TriangleKCoreResult:
     """Run Algorithm 1 on ``graph``.
 
@@ -130,6 +131,14 @@ def triangle_kcore_decomposition(
         :mod:`repro.fast` kernels (identical kappa maps, much faster on
         large graphs); ``"auto"`` (default) picks per the policy documented
         in :mod:`repro.fast`.
+    counters:
+        Optional dict that, when provided, receives work counters at no
+        measurable cost (they are derived from state the peel computes
+        anyway): ``triangles_enumerated``, ``support_sum`` (the sum of
+        initial bounds), ``edges_peeled``, and ``bucket_decrements``
+        (``support_sum`` minus the final kappa sum — every bucket
+        decrement lowers exactly one bound by one).  This is the hook the
+        instrumented engine (:mod:`repro.engine`) reads.
 
     Returns
     -------
@@ -151,7 +160,7 @@ def triangle_kcore_decomposition(
     from ..fast import csr_decomposition, resolve_backend
 
     if resolve_backend(backend, graph, needs_reference=store_membership) == "csr":
-        return csr_decomposition(graph)
+        return csr_decomposition(graph, counters=counters)
 
     # Steps 1-5: initial upper bounds = triangle supports.  A single pass
     # over the canonical triangle enumeration both counts supports and, when
@@ -200,6 +209,13 @@ def triangle_kcore_decomposition(
                     if membership is not None:
                         membership.del_from_core(triangle, other)
         processed.add(edge)
+
+    if counters is not None:
+        support_sum = sum(kappa_bound.values())
+        counters["triangles_enumerated"] = support_sum // 3
+        counters["support_sum"] = support_sum
+        counters["edges_peeled"] = len(kappa)
+        counters["bucket_decrements"] = support_sum - sum(kappa.values())
 
     return TriangleKCoreResult(
         kappa=kappa,

@@ -1,0 +1,114 @@
+"""Engine instrumentation: per-stage wall time, work counters, cache stats.
+
+One :class:`EngineStats` instance rides along with each
+:class:`~repro.engine.engine.Engine`.  All layers that route through the
+engine — decompositions, the dynamic snapshot strategy, cache lookups —
+report into it, so a single ``engine.stats_dict()`` (or the CLI's
+``--stats`` flag) tells the whole story of a run: where the time went,
+how much algorithmic work was done, and how often the artifact cache
+saved a recompute.
+
+The structured schema (``as_dict``)::
+
+    {
+      "schema": "repro.engine.stats/1",
+      "counters":      {"decompositions": ..., "cache_hits": ...,
+                        "triangles_enumerated": ..., "edges_peeled": ...,
+                        "bucket_decrements": ..., "dynamic_updates": ...},
+      "backend_calls": {"reference": ..., "csr": ..., "dynamic": ...},
+      "stage_seconds": {"decompose.reference": ..., "dynamic.diff": ...},
+    }
+
+Counter values are exact, not sampled: the static counters are derived
+from state Algorithm 1 computes anyway (see the ``counters`` hook on
+:func:`repro.core.triangle_kcore.triangle_kcore_decomposition`), and the
+dynamic counters aggregate the maintainer's own
+:class:`~repro.core.dynamic.UpdateStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+#: Version tag for the structured stats payload; bump on schema changes.
+STATS_SCHEMA = "repro.engine.stats/1"
+
+
+class EngineStats:
+    """Mutable instrumentation accumulator for one engine."""
+
+    __slots__ = ("counters", "backend_calls", "stage_seconds")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.backend_calls: Dict[str, int] = {}
+        self.stage_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_backend(self, name: str) -> None:
+        """Count one dispatch into backend ``name``."""
+        self.backend_calls[name] = self.backend_calls.get(name, 0) + 1
+
+    def add_seconds(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time under ``stage``."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage (accumulates across calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold a decomposition's ``counters`` hook output into the totals."""
+        for name, value in counters.items():
+            self.bump(name, value)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cache_hits(self) -> int:
+        return self.counters.get("cache_hits", 0)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.counters.get("cache_misses", 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The structured instrumentation payload (JSON-serializable)."""
+        return {
+            "schema": STATS_SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "backend_calls": dict(sorted(self.backend_calls.items())),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.stage_seconds.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        self.counters.clear()
+        self.backend_calls.clear()
+        self.stage_seconds.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(decompositions="
+            f"{self.counters.get('decompositions', 0)}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )

@@ -34,7 +34,7 @@ Backends
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..graph.edge import Edge
 from ..graph.undirected import Graph
@@ -100,14 +100,28 @@ def csr_triangle_supports(graph: Graph) -> Dict[Edge, int]:
     return dict(zip(csr.edge_labels(), triangle_supports(csr)))
 
 
-def csr_decomposition(graph: Graph) -> "TriangleKCoreResult":  # noqa: F821
-    """Algorithm 1 via the CSR kernels, decoded to the public result type."""
+def csr_decomposition(
+    graph: Graph, *, counters: Optional[Dict[str, int]] = None
+) -> "TriangleKCoreResult":  # noqa: F821
+    """Algorithm 1 via the CSR kernels, decoded to the public result type.
+
+    ``counters`` mirrors the instrumentation hook of
+    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`: the
+    same keys, derived from arrays the kernels build anyway.
+    """
     # Imported lazily: repro.core.triangle_kcore dispatches into this module.
     from ..core.triangle_kcore import TriangleKCoreResult
 
     csr = CSRGraph.from_graph(graph)
-    kappa_by_eid, order_by_eid = peel(csr, supports_and_triangles(csr))
+    precomputed = supports_and_triangles(csr)
+    kappa_by_eid, order_by_eid = peel(csr, precomputed)
     edges = csr.edge_labels()
     kappa: Dict[Edge, int] = dict(zip(edges, kappa_by_eid))
     processing_order: List[Edge] = list(map(edges.__getitem__, order_by_eid))
+    if counters is not None:
+        support_sum = int(sum(precomputed[0]))
+        counters["triangles_enumerated"] = support_sum // 3
+        counters["support_sum"] = support_sum
+        counters["edges_peeled"] = len(kappa)
+        counters["bucket_decrements"] = support_sum - int(sum(kappa_by_eid))
     return TriangleKCoreResult(kappa=kappa, processing_order=processing_order)

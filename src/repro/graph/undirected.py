@@ -45,7 +45,7 @@ class Graph:
     True
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version", "__weakref__")
 
     def __init__(
         self,
@@ -54,6 +54,7 @@ class Graph:
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._num_edges = 0
+        self._version = 0
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -70,6 +71,7 @@ class Graph:
         if vertex in self._adj:
             return False
         self._adj[vertex] = set()
+        self._version += 1
         return True
 
     def remove_vertex(self, vertex: Vertex) -> None:
@@ -82,6 +84,7 @@ class Graph:
         except KeyError:
             raise VertexNotFoundError(vertex) from None
         self._num_edges -= len(neighbors)
+        self._version += 1
         for neighbor in neighbors:
             self._adj[neighbor].discard(vertex)
 
@@ -103,6 +106,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, u: Vertex, v: Vertex, *, missing_ok: bool = False) -> bool:
@@ -115,6 +119,7 @@ class Graph:
             self._adj[u].discard(v)
             self._adj[v].discard(u)
             self._num_edges -= 1
+            self._version += 1
             return True
         if missing_ok:
             return False
@@ -124,10 +129,24 @@ class Graph:
         """Remove every vertex and edge."""
         self._adj.clear()
         self._num_edges = 0
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Monotonically-increasing mutation counter for *this* instance.
+
+        Every structural change (vertex/edge insertion or removal,
+        ``clear``) increments it, so ``(id(graph), graph.version)`` uniquely
+        identifies one structural state of one live graph object.  The
+        engine's artifact cache (:mod:`repro.engine`) keys on it to make
+        repeated decompositions of an unmutated graph free while making
+        stale answers impossible.  Copies start their own count at 0.
+        """
+        return self._version
 
     @property
     def num_vertices(self) -> int:

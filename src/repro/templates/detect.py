@@ -18,13 +18,14 @@ Pipeline (paper §V):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..engine import resolve_engine
 from ..graph.edge import Edge, Triangle, Vertex, triangle_edges
 from ..graph.triangles import enumerate_triangles
 from ..graph.undirected import Graph
 from ..core.extract import dense_communities
-from ..core.triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
+from ..core.triangle_kcore import TriangleKCoreResult
 from ..viz.density_plot import DensityPlot, density_plot_from_scores
 from .spec import Labeling, TemplateSpec
 
@@ -78,6 +79,9 @@ def detect_template_cliques(
     arena: Graph,
     labeling: Labeling,
     spec: TemplateSpec,
+    *,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> TemplateDetection:
     """Run Algorithm 4 for ``spec`` on ``arena`` with the given labels.
 
@@ -114,8 +118,11 @@ def detect_template_cliques(
     for u, v in special_edges:
         special_graph.add_edge(u, v, exist_ok=True)
 
-    # Step 8: Algorithm 1 on the special subgraph.
-    result = triangle_kcore_decomposition(special_graph)
+    # Step 8: Algorithm 1 on the special subgraph.  G_spe is built fresh on
+    # every call, so skip the cache but keep engine dispatch/instrumentation.
+    result = resolve_engine(engine).decompose(
+        special_graph, backend=backend, use_cache=False
+    )
 
     # Steps 9-13: per-edge scores over the whole arena.
     scores: Dict[Edge, int] = {}
@@ -142,6 +149,9 @@ def detect_on_snapshots(
     old_graph: Graph,
     new_graph: Graph,
     spec: TemplateSpec,
+    *,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> TemplateDetection:
     """Convenience: Algorithm 4 on an evolving graph (OG -> NG).
 
@@ -153,4 +163,6 @@ def detect_on_snapshots(
 
     arena = union_graph(old_graph, new_graph)
     labeling = labeling_from_snapshots(old_graph, new_graph)
-    return detect_template_cliques(arena, labeling, spec)
+    return detect_template_cliques(
+        arena, labeling, spec, backend=backend, engine=engine
+    )

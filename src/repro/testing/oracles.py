@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.recompute import RecomputeBaseline
 from ..core.dynamic import DynamicTriangleKCore
-from ..core.triangle_kcore import triangle_kcore_decomposition
+from ..engine import Engine
 from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
 
@@ -67,6 +67,10 @@ class CheckpointOracles:
         self._baseline: Optional[RecomputeBaseline] = None
         self._baseline_edges: set = set()
         self._nx_usable = "networkx" in self._names and networkx_available()
+        # Private, cache-disabled engine: each oracle must recompute from
+        # scratch every checkpoint — serving one oracle's cached artifact
+        # to another would collapse their independence.
+        self._engine = Engine(max_cached_graphs=0)
 
     @property
     def names(self) -> Tuple[str, ...]:
@@ -87,8 +91,8 @@ class CheckpointOracles:
             if name == "recompute":
                 answers[name] = self._recompute_kappa(shadow)
             elif name == "csr":
-                answers[name] = triangle_kcore_decomposition(
-                    shadow, backend="csr"
+                answers[name] = self._engine.decompose(
+                    shadow, backend="csr", use_cache=False
                 ).kappa
             elif name == "networkx" and self._nx_usable:
                 from ..baselines.nx_truss import networkx_kappa
@@ -100,7 +104,7 @@ class CheckpointOracles:
         """Feed the RecomputeBaseline the net edge diff since last call."""
         current = set(shadow.edges())
         if self._baseline is None:
-            self._baseline = RecomputeBaseline(Graph())
+            self._baseline = RecomputeBaseline(Graph(), engine=self._engine)
         added = current - self._baseline_edges
         removed = self._baseline_edges - current
         run = self._baseline.apply(added=sorted(added, key=repr),

@@ -16,12 +16,12 @@ Captures how clique-like structures change in a dynamic graph:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine import resolve_engine
 from ..graph.edge import Edge, Vertex, canonical_edge
 from ..graph.undirected import Graph
-from ..core.dynamic import DynamicTriangleKCore
-from ..core.triangle_kcore import triangle_kcore_decomposition
+from ..core.triangle_kcore import TriangleKCoreResult
 from .density_plot import DensityPlot, Marker, density_plot, density_plot_from_scores
 
 _MARKER_SHAPES = ("triangle", "rect", "ellipse", "circle")
@@ -74,25 +74,41 @@ def dual_view_plots(
     removed: Sequence[Tuple[Vertex, Vertex]] = (),
     title_before: str = "snapshot t",
     title_after: str = "snapshot t+1 (changed cliques)",
+    before_result: Optional[TriangleKCoreResult] = None,
+    after_result: Optional[TriangleKCoreResult] = None,
+    new_graph: Optional[Graph] = None,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
 ) -> DualViewPlots:
     """Run Algorithm 3 end to end.
 
     Steps 1-3: decompose the original graph and draw plot(a).  Step 4:
-    apply the updates through :class:`DynamicTriangleKCore`.  Steps 5-6:
-    re-score edges — added edges keep ``kappa + 2``, surviving old edges are
-    zeroed — and draw plot(b).  Step 7 (selection / correspondence) is the
-    caller's move via :meth:`DualViewPlots.select`.
+    apply the updates through the engine's incremental maintainer.  Steps
+    5-6: re-score edges — added edges keep ``kappa + 2``, surviving old
+    edges are zeroed — and draw plot(b).  Step 7 (selection /
+    correspondence) is the caller's move via :meth:`DualViewPlots.select`.
+
+    Callers that already hold decompositions can pass ``before_result``
+    and/or ``after_result`` (the latter together with ``new_graph``) to
+    skip the corresponding recompute entirely — previously plot(a) was
+    always recomputed even when the caller had the result in hand.
     """
-    before_result = triangle_kcore_decomposition(old_graph)
+    eng = resolve_engine(engine)
+    if before_result is None:
+        before_result = eng.decompose(old_graph, backend=backend)
     before = density_plot(old_graph, before_result, title=title_before)
 
-    maintainer = DynamicTriangleKCore(old_graph)
-    maintainer.apply(added=added, removed=removed)
-    new_graph = maintainer.graph
+    if after_result is not None and new_graph is not None:
+        after_kappa: Dict[Edge, int] = after_result.kappa
+    else:
+        maintainer = eng.maintainer(old_graph, copy=True)
+        maintainer.apply(added=added, removed=removed)
+        new_graph = maintainer.graph
+        after_kappa = maintainer.kappa
 
     added_set = {canonical_edge(u, v) for u, v in added}
     changed_scores: Dict[Edge, int] = {}
-    for edge, kappa in maintainer.kappa.items():
+    for edge, kappa in after_kappa.items():
         changed_scores[edge] = kappa + 2 if edge in added_set else 0
 
     after = density_plot_from_scores(new_graph, changed_scores, title=title_after)
@@ -106,7 +122,13 @@ def dual_view_plots(
     )
 
 
-def dual_view_from_snapshots(old_graph: Graph, new_graph: Graph) -> DualViewPlots:
+def dual_view_from_snapshots(
+    old_graph: Graph,
+    new_graph: Graph,
+    *,
+    backend: Optional[str] = None,
+    engine: Optional[object] = None,
+) -> DualViewPlots:
     """Convenience wrapper: derive the deltas from two snapshots.
 
     This is how the Wiki case study (paper Fig 8) is driven: two consecutive
@@ -115,4 +137,6 @@ def dual_view_from_snapshots(old_graph: Graph, new_graph: Graph) -> DualViewPlot
     from ..graph.io import graph_diff
 
     added, removed = graph_diff(old_graph, new_graph)
-    return dual_view_plots(old_graph, added=added, removed=removed)
+    return dual_view_plots(
+        old_graph, added=added, removed=removed, backend=backend, engine=engine
+    )

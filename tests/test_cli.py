@@ -295,3 +295,102 @@ class TestFuzz:
             ["fuzz", "--replay", str(bundle_path), "--perturb-level", "1"]
         ) == 1
         assert "DIVERGED" in capsys.readouterr().out
+
+
+class TestEngineFlags:
+    """PR 3: ``--stats`` / ``--backend`` wiring and the dualview subcommand."""
+
+    @staticmethod
+    def _last_line_stats(capsys):
+        import json
+
+        lines = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(lines[-1])
+        assert payload["schema"] == "repro.engine.stats/1"
+        return payload
+
+    def test_decompose_stats_json(self, edge_file, capsys):
+        assert main(["decompose", edge_file, "--stats"]) == 0
+        payload = self._last_line_stats(capsys)
+        assert payload["counters"]["decompositions"] == 1
+        assert payload["counters"]["triangles_enumerated"] == 2
+        assert payload["backend_calls"] in (
+            {"reference": 1},
+            {"csr": 1},
+        )
+        assert payload["stage_seconds"]
+
+    def test_decompose_dynamic_backend(self, edge_file, capsys):
+        assert main(
+            ["decompose", edge_file, "--backend", "dynamic", "--stats"]
+        ) == 0
+        payload = self._last_line_stats(capsys)
+        assert payload["counters"]["dynamic_cold_starts"] == 1
+
+    def test_membership_with_dynamic_backend_is_rejected(
+        self, edge_file, capsys
+    ):
+        assert main(
+            ["decompose", edge_file, "--backend", "dynamic", "--membership"]
+        ) == 2
+        assert "reference" in capsys.readouterr().err
+
+    def test_events_stats_json(self, capsys):
+        assert main(["events", "--dataset", "wiki_snapshots", "--stats"]) == 0
+        payload = self._last_line_stats(capsys)
+        assert payload["counters"]["decompositions"] >= 1
+
+    def test_events_dynamic_backend_matches_default(self, capsys):
+        assert main(["events", "--dataset", "wiki_snapshots"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(
+            ["events", "--dataset", "wiki_snapshots", "--backend", "dynamic"]
+        ) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_dualview_ascii_and_stats(self, tmp_path, capsys):
+        old = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        new = Graph(edges=[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)])
+        old_path, new_path = tmp_path / "old.edges", tmp_path / "new.edges"
+        write_edge_list(old, old_path)
+        write_edge_list(new, new_path)
+        assert main(
+            ["dualview", str(old_path), str(new_path), "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "+3 / -0 edges" in out
+        import json
+
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["counters"]["maintainers_built"] == 1
+
+    def test_dualview_svg_pair(self, tmp_path, capsys):
+        old = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        new = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        old_path, new_path = tmp_path / "old.edges", tmp_path / "new.edges"
+        write_edge_list(old, old_path)
+        write_edge_list(new, new_path)
+        prefix = str(tmp_path / "dv")
+        assert main(
+            ["dualview", str(old_path), str(new_path), "--svg", prefix]
+        ) == 0
+        assert (tmp_path / "dv_before.svg").exists()
+        assert (tmp_path / "dv_after.svg").exists()
+
+    def test_robustness_methods_agree(self, capsys):
+        args = ["robustness", "synthetic", "--fractions", "0.1",
+                "--trials", "2", "--seed", "3"]
+        assert main(args + ["--method", "dynamic"]) == 0
+        dynamic_out = capsys.readouterr().out
+        assert main(args + ["--method", "recompute"]) == 0
+        assert capsys.readouterr().out == dynamic_out
+
+    def test_stats_flag_on_other_subcommands(self, edge_file, capsys):
+        for argv in (
+            ["plot", edge_file, "--stats"],
+            ["communities", edge_file, "--stats"],
+            ["hierarchy", edge_file, "--stats"],
+            ["probe", edge_file, "0", "1", "--stats"],
+        ):
+            assert main(argv) == 0, argv
+            self._last_line_stats(capsys)

@@ -99,3 +99,44 @@ class TestRobustnessReport:
         )
         assert report.baseline_max_kappa == 0
         assert report.breakdown_fraction() == 1.0
+
+
+class TestEngineRouting:
+    """PR 3: diff-based perturbation through the engine, recompute fallback."""
+
+    def test_perturbation_diff_matches_perturb_edges(self):
+        from repro.analysis.robustness import perturbation_diff
+
+        g = planted_cliques(30, [5], background_p=0.08, seed=9).graph
+        for mode in ("delete", "rewire"):
+            added, removed = perturbation_diff(g, 0.15, seed=11, mode=mode)
+            rebuilt = g.copy()
+            for u, v in removed:
+                rebuilt.remove_edge(u, v)
+            for u, v in added:
+                rebuilt.add_edge(u, v)
+            assert rebuilt == perturb_edges(g, 0.15, seed=11, mode=mode), mode
+
+    @pytest.mark.parametrize("mode", ["delete", "rewire"])
+    def test_methods_produce_identical_trials(self, mode):
+        g = planted_cliques(25, [6], background_p=0.06, seed=4).graph
+        kwargs = dict(
+            fractions=(0.05, 0.2), trials_per_fraction=2, mode=mode, seed=2
+        )
+        dynamic = robustness_report(g, method="dynamic", **kwargs)
+        recompute = robustness_report(g, method="recompute", **kwargs)
+        assert dynamic.baseline_max_kappa == recompute.baseline_max_kappa
+        assert dynamic.baseline_core == recompute.baseline_core
+        assert dynamic.trials == recompute.trials
+
+    def test_base_graph_untouched_by_dynamic_sweep(self):
+        g = complete_graph(8)
+        edges_before = set(g.edges())
+        version_before = g.version
+        robustness_report(g, fractions=(0.3,), trials_per_fraction=3)
+        assert set(g.edges()) == edges_before
+        assert g.version == version_before
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            robustness_report(complete_graph(5), method="guess")

@@ -26,6 +26,7 @@ from hypothesis.stateful import (
 
 from repro.baselines.recompute import RecomputeBaseline
 from repro.core import DynamicTriangleKCore, triangle_kcore_decomposition
+from repro.engine import Engine
 from repro.graph import Graph
 
 VERTICES = list(range(8))
@@ -202,6 +203,72 @@ class DiffApplyBaselineMachine(RuleBasedStateMachine):
         assert self.maintainer.kappa == self.baseline.kappa
 
 
+class EngineCacheMachine(RuleBasedStateMachine):
+    """Graph mutations can never leave the engine serving stale kappa.
+
+    Random structural edits interleave with cached ``Engine.decompose``
+    calls (across every backend, including the warm dynamic maintainer).
+    Invariants: the mutation counter bumps on every effective write (and
+    only then), and whatever the cache serves equals a fresh Algorithm 1
+    run — the engine's core safety property.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph(vertices=VERTICES)
+        self.engine = Engine(max_cached_graphs=4)
+        self.last_version = self.graph.version
+
+    def _expect_bump(self, mutated: bool, before: int) -> None:
+        if mutated:
+            assert self.graph.version > before
+        else:
+            assert self.graph.version == before
+
+    @rule(u=st.sampled_from(VERTICES), v=st.sampled_from(VERTICES))
+    def toggle_edge(self, u, v):
+        if u == v:
+            return
+        before = self.graph.version
+        if self.graph.has_edge(u, v):
+            self.graph.remove_edge(u, v)
+        elif self.graph.has_vertex(u) and self.graph.has_vertex(v):
+            self.graph.add_edge(u, v)
+        else:
+            return
+        self._expect_bump(True, before)
+
+    @rule(vertex=st.sampled_from(VERTICES))
+    def remove_and_restore_vertex(self, vertex):
+        before = self.graph.version
+        if self.graph.has_vertex(vertex):
+            self.graph.remove_vertex(vertex)
+            self._expect_bump(True, before)
+        else:
+            self.graph.add_vertex(vertex)
+            self._expect_bump(True, before)
+
+    @rule(vertex=st.sampled_from(VERTICES))
+    def noop_add_existing_vertex(self, vertex):
+        if self.graph.has_vertex(vertex):
+            before = self.graph.version
+            self.graph.add_vertex(vertex)
+            self._expect_bump(False, before)
+
+    @rule(backend=st.sampled_from(["auto", "reference", "csr", "dynamic"]))
+    def cached_decompose_is_fresh(self, backend):
+        result = self.engine.decompose(self.graph, backend=backend)
+        expected = triangle_kcore_decomposition(self.graph).kappa
+        assert result.kappa == expected
+        # Immediately served again (possibly from cache): still current.
+        assert self.engine.decompose(self.graph, backend=backend).kappa == expected
+
+    @invariant()
+    def version_is_monotonic(self):
+        assert self.graph.version >= self.last_version
+        self.last_version = self.graph.version
+
+
 TestDynamicMaintainerMachine = DynamicMaintainerMachine.TestCase
 TestDynamicMaintainerMachine.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
@@ -215,4 +282,9 @@ TestStoredModeMachine.settings = settings(
 TestDiffApplyBaselineMachine = DiffApplyBaselineMachine.TestCase
 TestDiffApplyBaselineMachine.settings = settings(
     max_examples=15, stateful_step_count=20, deadline=None
+)
+
+TestEngineCacheMachine = EngineCacheMachine.TestCase
+TestEngineCacheMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
 )
