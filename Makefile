@@ -5,13 +5,18 @@
 #   make test       full unit/property/integration suite
 #   make bench      regenerate every paper table & figure
 #   make bench-engine  engine dispatch/cache/dynamic-timeline gates
+#   make bench-parallel  parallel backend vs csr speedup gate
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
 #   make artifacts  test + bench with logs captured at the repo root
+#
+# Every pytest/bench target exports PYTHONPATH=src so the targets work
+# without an editable install (CI and fresh clones).
 
 PYTHON ?= python3
+export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +29,9 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_overhead.py -q
+
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_backend.py
 
 figures: bench
 

@@ -1,0 +1,195 @@
+"""Parallel backend — sharded enumeration vs the in-process CSR kernels.
+
+Times the static decomposition with ``backend="csr"`` and
+``backend="parallel"`` (2 and 4 workers, real process pools) on the
+largest Table II sweep datasets, asserting bit-identical kappa maps and
+processing orders along the way.  Two artifacts are written:
+
+* ``benchmarks/results/parallel_backend.txt`` — the human-readable table;
+* ``BENCH_parallel.json`` at the repo root — the machine-readable record
+  CI uploads.
+
+Acceptance gate (ISSUE 4): ``parallel`` with 4 workers must be >= 1.8x
+faster than ``csr`` on the largest Table II graph.  The gate is only
+*enforced* on hosts with at least 4 CPUs — on smaller machines (where a
+4-worker pool cannot physically beat one core) the speedup is measured
+and recorded with ``"enforced": false`` so the trajectory stays visible.
+
+Run stand-alone (no pytest) with ``python benchmarks/bench_parallel_backend.py
+[--smoke]``; ``--smoke`` does one timing pass instead of best-of-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import SWEEP_DATASETS, format_table, write_report
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_parallel.json"
+
+#: The largest Table II stand-in — the acceptance-gate dataset.
+GATE_DATASET = SWEEP_DATASETS[-1]
+#: Datasets timed (largest two: pool overhead is invisible below ~10^4 edges).
+BENCH_DATASETS = [SWEEP_DATASETS[3], GATE_DATASET]  # dblp, livejournal
+GATE_WORKERS = 4
+MIN_SPEEDUP = 1.8
+REPEATS = 3
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _parallel_report(get_dataset, repeats=REPEATS):
+    from repro.core import triangle_kcore_decomposition
+    from repro.fast import parallel_decomposition
+
+    cpu_count = os.cpu_count() or 1
+    enforced = cpu_count >= GATE_WORKERS
+    rows = []
+    json_rows = []
+    for name in BENCH_DATASETS:
+        graph = get_dataset(name).graph
+        csr, csr_seconds = _best_of(
+            lambda: triangle_kcore_decomposition(graph, backend="csr"),
+            repeats,
+        )
+        row = {
+            "dataset": name,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "csr_seconds": round(csr_seconds, 6),
+        }
+        speedups = {}
+        for workers in (2, GATE_WORKERS):
+            par, par_seconds = _best_of(
+                lambda: parallel_decomposition(graph, workers=workers),
+                repeats,
+            )
+            assert par.kappa == csr.kappa, f"kappa mismatch on {name}"
+            assert par.processing_order == csr.processing_order, (
+                f"processing order mismatch on {name}"
+            )
+            speedups[workers] = csr_seconds / max(par_seconds, 1e-9)
+            row[f"parallel{workers}_seconds"] = round(par_seconds, 6)
+            row[f"speedup{workers}"] = round(speedups[workers], 2)
+        json_rows.append(row)
+        rows.append(
+            (
+                name,
+                graph.num_vertices,
+                graph.num_edges,
+                f"{csr_seconds:.4f}",
+                f"{row['parallel2_seconds']:.4f}",
+                f"{speedups[2]:.2f}x",
+                f"{row[f'parallel{GATE_WORKERS}_seconds']:.4f}",
+                f"{speedups[GATE_WORKERS]:.2f}x",
+            )
+        )
+
+    lines = format_table(
+        (
+            "dataset", "|V|", "|E|", "csr(s)",
+            "par@2(s)", "x2", f"par@{GATE_WORKERS}(s)", f"x{GATE_WORKERS}",
+        ),
+        rows,
+    )
+    lines.append("")
+    gate_state = (
+        "ENFORCED"
+        if enforced
+        else f"recorded only (needs >= {GATE_WORKERS} CPUs)"
+    )
+    lines.append(
+        f"gate: parallel@{GATE_WORKERS} >= {MIN_SPEEDUP}x over csr on "
+        f"{GATE_DATASET}; host has {cpu_count} CPU(s), gate {gate_state}; "
+        f"best-of-{repeats} wall clocks"
+    )
+    write_report("parallel_backend", lines)
+
+    gate_row = next(r for r in json_rows if r["dataset"] == GATE_DATASET)
+    measured = gate_row[f"speedup{GATE_WORKERS}"]
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "parallel_backend",
+                "description": (
+                    "Algorithm 1 static decomposition: in-process CSR "
+                    "kernels vs process-parallel sharded enumeration "
+                    f"(best-of-{repeats} wall clock, seconds)"
+                ),
+                "command": (
+                    "PYTHONPATH=src python benchmarks/"
+                    "bench_parallel_backend.py"
+                ),
+                "acceptance": {
+                    "dataset": GATE_DATASET,
+                    "workers": GATE_WORKERS,
+                    "min_speedup": MIN_SPEEDUP,
+                    "measured_speedup": measured,
+                    "enforced": enforced,
+                    "cpu_count": cpu_count,
+                },
+                "rows": json_rows,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    if enforced:
+        assert measured >= MIN_SPEEDUP, (
+            f"parallel backend only {measured:.2f}x faster than csr at "
+            f"{GATE_WORKERS} workers on {GATE_DATASET}; the sharded "
+            f"enumeration must stay >= {MIN_SPEEDUP}x on >= "
+            f"{GATE_WORKERS}-CPU hosts"
+        )
+    return measured
+
+
+def test_parallel_backend_report(dataset_loader, benchmark):
+    benchmark.pedantic(
+        lambda: _parallel_report(dataset_loader), rounds=1, iterations=1
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single timing pass per cell instead of best-of-3",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.datasets import load
+
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = load(name)
+        return cache[name]
+
+    measured = _parallel_report(get, repeats=1 if args.smoke else REPEATS)
+    print(f"\nBENCH_parallel.json written; gate speedup {measured:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,7 +49,10 @@ def _make_engine(args: argparse.Namespace):
     """Fresh engine per invocation so ``--stats`` covers exactly this run."""
     from .engine import Engine
 
-    return Engine(default_backend=getattr(args, "backend", None) or "auto")
+    return Engine(
+        default_backend=getattr(args, "backend", None) or "auto",
+        workers=getattr(args, "workers", None),
+    )
 
 
 def _emit_stats(args: argparse.Namespace, engine) -> None:
@@ -66,8 +69,16 @@ def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
         choices=BACKENDS,
         default=None,
         help="decomposition implementation: dict-based reference, "
-        "flat-array CSR kernels, incremental dynamic maintenance, or "
-        "auto (size-based, default)",
+        "flat-array CSR kernels, process-parallel sharded enumeration, "
+        "incremental dynamic maintenance, or auto (size-based, default)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel backend (default: one per "
+        "CPU; 1 disables pool spawning)",
     )
     p.add_argument(
         "--stats",
@@ -79,7 +90,7 @@ def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     backend = args.backend or "auto"
-    if args.membership and backend in ("csr", "dynamic"):
+    if args.membership and backend not in ("auto", "reference"):
         print(
             f"error: --membership needs the reference backend (the "
             f"{backend} backend does not track AddToCore/DelFromCore "
@@ -461,14 +472,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 1
 
     profiles = sorted(PROFILES) if args.profile == "all" else [args.profile]
-    sut_factory_kwargs = {}
+    extra_kwargs = {}
     if args.perturb_level is not None:
-        sut_factory_kwargs["sut_factory"] = perturbed_sut_factory(
+        extra_kwargs["sut_factory"] = perturbed_sut_factory(
             args.perturb_level
         )
         print(
             f"self-test: injecting off-by-one kappa bug at level "
             f"{args.perturb_level}"
+        )
+    if args.backend == "parallel":
+        from .testing import DEFAULT_ORACLES
+
+        workers = args.workers or 2
+        extra_kwargs["oracles"] = DEFAULT_ORACLES + ("parallel",)
+        extra_kwargs["oracle_options"] = {
+            "parallel_workers": workers,
+            "parallel_inprocess": False,
+        }
+        print(
+            f"extra oracle: parallel backend with {workers} worker "
+            f"process(es) per checkpoint"
         )
     start = time.perf_counter()
     result = fuzz(
@@ -477,7 +501,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         profiles=profiles,
         checkpoint_every=args.checkpoint_every,
         shrink=args.shrink,
-        **sut_factory_kwargs,
+        **extra_kwargs,
     )
     elapsed = time.perf_counter() - start
     for outcome in result.outcomes:
@@ -701,6 +725,20 @@ def build_parser() -> argparse.ArgumentParser:
         dest="perturb_level",
         help="self-test: inject an off-by-one kappa bug at this level and "
         "verify the harness catches it",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("parallel",),
+        default=None,
+        help="cross-check this backend as an extra checkpoint oracle "
+        "(parallel: real worker pools, see --workers)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel oracle (default: 2)",
     )
     p.set_defaults(func=_cmd_fuzz)
 

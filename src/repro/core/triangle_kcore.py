@@ -111,6 +111,7 @@ def triangle_kcore_decomposition(
     *,
     store_membership: bool = False,
     backend: str = "auto",
+    workers: Optional[int] = None,
     counters: Optional[Dict[str, int]] = None,
 ) -> TriangleKCoreResult:
     """Run Algorithm 1 on ``graph``.
@@ -129,8 +130,14 @@ def triangle_kcore_decomposition(
         ``"reference"`` runs the dict-based implementation below;
         ``"csr"`` snapshots the graph into flat integer arrays and runs the
         :mod:`repro.fast` kernels (identical kappa maps, much faster on
-        large graphs); ``"auto"`` (default) picks per the policy documented
-        in :mod:`repro.fast`.
+        large graphs); ``"parallel"`` additionally fans the triangle
+        enumeration out over a process pool (bit-identical to ``"csr"``);
+        ``"auto"`` (default) picks per the policy documented in
+        :mod:`repro.fast`.
+    workers:
+        Worker-process count for the ``"parallel"`` backend (and the
+        ``"auto"`` escalation policy); ``None`` means one per CPU.
+        Ignored by the in-process backends.
     counters:
         Optional dict that, when provided, receives work counters at no
         measurable cost (they are derived from state the peel computes
@@ -157,10 +164,15 @@ def triangle_kcore_decomposition(
     >>> result.kappa_of("B", "C")
     2
     """
-    from ..fast import csr_decomposition, resolve_backend
+    from ..fast import csr_decomposition, parallel_decomposition, resolve_backend
 
-    if resolve_backend(backend, graph, needs_reference=store_membership) == "csr":
+    resolved = resolve_backend(
+        backend, graph, needs_reference=store_membership, workers=workers
+    )
+    if resolved == "csr":
         return csr_decomposition(graph, counters=counters)
+    if resolved == "parallel":
+        return parallel_decomposition(graph, workers=workers, counters=counters)
 
     # Steps 1-5: initial upper bounds = triangle supports.  A single pass
     # over the canonical triangle enumeration both counts supports and, when

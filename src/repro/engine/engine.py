@@ -7,9 +7,9 @@ baselines, the CLI — routes through an :class:`Engine` instead of calling
 The engine owns three concerns those layers previously re-implemented (or
 simply lacked):
 
-**Backend registry.**  ``"reference"``, ``"csr"`` and ``"auto"`` dispatch
-exactly as before (the policy lives in :mod:`repro.fast`), plus a new
-``"dynamic"`` strategy: the first decomposition warms a
+**Backend registry.**  ``"reference"``, ``"csr"``, ``"parallel"`` and
+``"auto"`` dispatch exactly as before (the policy lives in
+:mod:`repro.fast`), plus a ``"dynamic"`` strategy: the first decomposition warms a
 :class:`~repro.core.dynamic.DynamicTriangleKCore`, and every subsequent
 call answers by diffing the requested graph against the maintainer's state
 and applying the delta incrementally (Algorithm 2) — the shape snapshot
@@ -42,6 +42,7 @@ from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -54,9 +55,6 @@ from ..graph.undirected import Graph
 from ..core.dynamic import DynamicTriangleKCore, KappaDelta
 from ..core.triangle_kcore import TriangleKCoreResult, triangle_kcore_decomposition
 from .stats import EngineStats
-
-#: Backend names the engine accepts out of the box (order: CLI display).
-BACKENDS = ("auto", "reference", "csr", "dynamic")
 
 #: A backend implementation: ``(engine, graph, store_membership) -> result``.
 BackendFn = Callable[["Engine", Graph, bool], TriangleKCoreResult]
@@ -105,6 +103,29 @@ def _decompose_csr(
     return result
 
 
+def _decompose_parallel(
+    engine: "Engine", graph: Graph, store_membership: bool
+) -> TriangleKCoreResult:
+    if store_membership:
+        raise ValueError(
+            "backend='parallel' does not support membership bookkeeping; "
+            "use backend='reference' (or 'auto')"
+        )
+    from ..fast.parallel import ParallelInfo, parallel_decomposition
+
+    counters: Dict[str, int] = {}
+    info: ParallelInfo = {}
+    with engine.stats.stage("decompose.parallel"):
+        result = parallel_decomposition(
+            graph, workers=engine.workers, counters=counters, info=info
+        )
+    engine.stats.merge_counters(counters)
+    engine.stats.record_parallel(
+        info.get("workers", 1), info.get("shard_seconds", [])
+    )
+    return result
+
+
 def _decompose_dynamic(
     engine: "Engine", graph: Graph, store_membership: bool
 ) -> TriangleKCoreResult:
@@ -119,8 +140,13 @@ def _decompose_dynamic(
 _BUILTIN_BACKENDS: Dict[str, BackendFn] = {
     "reference": _decompose_reference,
     "csr": _decompose_csr,
+    "parallel": _decompose_parallel,
     "dynamic": _decompose_dynamic,
 }
+
+#: Backend names the engine accepts out of the box (order: CLI display).
+#: Derived from the registry so the two can never drift apart.
+BACKENDS = ("auto",) + tuple(_BUILTIN_BACKENDS)
 
 
 class Engine:
@@ -142,6 +168,12 @@ class Engine:
         ``"incremental"``, ``"recompute"``, or ``"auto"`` (default —
         incremental below the measured churn crossover, one recompute
         above it).
+    workers:
+        Worker-process count for the ``"parallel"`` backend, and the
+        input to ``"auto"``'s parallel-escalation policy.  ``None``
+        (default) means one per CPU; ``1`` disables pool spawning
+        entirely (the parallel backend then runs its in-process
+        short-circuit and ``"auto"`` never escalates past ``"csr"``).
 
     Examples
     --------
@@ -163,6 +195,7 @@ class Engine:
         default_backend: str = "auto",
         max_cached_graphs: int = 8,
         dynamic_strategy: str = "auto",
+        workers: Optional[int] = None,
     ) -> None:
         if max_cached_graphs < 0:
             raise ValueError(
@@ -173,10 +206,13 @@ class Engine:
                 "dynamic_strategy must be incremental/recompute/auto, "
                 f"got {dynamic_strategy!r}"
             )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self._registry: Dict[str, BackendFn] = dict(_BUILTIN_BACKENDS)
         self._cache: "OrderedDict[int, _GraphEntry]" = OrderedDict()
         self._max_cached_graphs = max_cached_graphs
         self.dynamic_strategy = dynamic_strategy
+        self.workers = workers
         self.stats = EngineStats()
         #: Warm maintainer behind the "dynamic" backend (one per engine).
         self._dynamic: Optional[DynamicTriangleKCore] = None
@@ -240,7 +276,10 @@ class Engine:
             from ..fast import resolve_backend
 
             return resolve_backend(
-                "auto", graph, needs_reference=store_membership
+                "auto",
+                graph,
+                needs_reference=store_membership,
+                workers=self.workers,
             )
         if name not in self._registry:
             raise ValueError(
@@ -333,6 +372,55 @@ class Engine:
         if use_cache:
             self._cache_put(graph, key, result)
         return result
+
+    def map_decompose(
+        self,
+        graphs: "Iterable[Graph]",
+        *,
+        backend: Optional[str] = None,
+        store_membership: bool = False,
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List[TriangleKCoreResult]:
+        """Decompose many graphs, one result per input, in input order.
+
+        Each graph is served through :meth:`decompose` — and therefore
+        through the version-keyed artifact cache, so duplicate (identical
+        object, unmutated) graphs in the batch cost one decomposition and
+        ``len - 1`` cache hits.  ``backend`` resolves per graph exactly as
+        in :meth:`decompose` (``"auto"`` may pick differently for graphs
+        of different sizes within one batch).
+
+        ``workers`` overrides the engine's worker count for the duration
+        of the batch — the knob for "decompose this list with the
+        parallel backend at N workers" without constructing a second
+        engine.  The pool itself is per-decomposition; graphs are *not*
+        fanned out against each other (results would then race for the
+        warm dynamic maintainer and the stats counters — per-graph
+        sharding already owns the parallelism).
+        """
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        saved_workers = self.workers
+        if workers is not None:
+            self.workers = workers
+        self.stats.bump("batch_calls")
+        try:
+            results: List[TriangleKCoreResult] = []
+            with self.stats.stage("decompose.batch"):
+                for graph in graphs:
+                    results.append(
+                        self.decompose(
+                            graph,
+                            backend=backend,
+                            store_membership=store_membership,
+                            use_cache=use_cache,
+                        )
+                    )
+        finally:
+            self.workers = saved_workers
+        self.stats.bump("batch_graphs", len(results))
+        return results
 
     def triangle_supports(
         self, graph: Graph, *, backend: Optional[str] = None, use_cache: bool = True

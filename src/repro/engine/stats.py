@@ -11,13 +11,20 @@ saved a recompute.
 The structured schema (``as_dict``)::
 
     {
-      "schema": "repro.engine.stats/1",
+      "schema": "repro.engine.stats/2",
       "counters":      {"decompositions": ..., "cache_hits": ...,
                         "triangles_enumerated": ..., "edges_peeled": ...,
                         "bucket_decrements": ..., "dynamic_updates": ...},
-      "backend_calls": {"reference": ..., "csr": ..., "dynamic": ...},
+      "backend_calls": {"reference": ..., "csr": ..., "parallel": ...,
+                        "dynamic": ...},
       "stage_seconds": {"decompose.reference": ..., "dynamic.diff": ...},
+      "parallel":      {"decompositions": ..., "workers": ...,
+                        "shards": ..., "shard_seconds": [...]},
     }
+
+Schema history: ``/1`` lacked the ``"parallel"`` section; every ``/1``
+key is present unchanged in ``/2``, so readers of the old schema keep
+working (the compatibility test pins this).
 
 Counter values are exact, not sampled: the static counters are derived
 from state Algorithm 1 computes anyway (see the ``counters`` hook on
@@ -30,21 +37,26 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Sequence
 
 #: Version tag for the structured stats payload; bump on schema changes.
-STATS_SCHEMA = "repro.engine.stats/1"
+STATS_SCHEMA = "repro.engine.stats/2"
 
 
 class EngineStats:
     """Mutable instrumentation accumulator for one engine."""
 
-    __slots__ = ("counters", "backend_calls", "stage_seconds")
+    __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.backend_calls: Dict[str, int] = {}
         self.stage_seconds: Dict[str, float] = {}
+        #: Aggregate view of every "parallel"-backend decomposition: worker
+        #: count of the most recent run, cumulative shard count, and the
+        #: per-shard wall times of the most recent run (the engine's
+        #: coarse analogue of ParallelInfo — see repro.fast.parallel).
+        self.parallel: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -76,6 +88,24 @@ class EngineStats:
         for name, value in counters.items():
             self.bump(name, value)
 
+    def record_parallel(
+        self, workers: int, shard_seconds: Sequence[float]
+    ) -> None:
+        """Record one ``"parallel"``-backend decomposition.
+
+        ``workers``/``shard_seconds`` describe the most recent run (they
+        overwrite); ``decompositions``/``shards`` accumulate.
+        """
+        shard_list: List[float] = [round(s, 6) for s in shard_seconds]
+        self.parallel["decompositions"] = (
+            int(self.parallel.get("decompositions", 0)) + 1
+        )
+        self.parallel["workers"] = int(workers)
+        self.parallel["shards"] = (
+            int(self.parallel.get("shards", 0)) + len(shard_list)
+        )
+        self.parallel["shard_seconds"] = shard_list
+
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
@@ -98,6 +128,7 @@ class EngineStats:
                 stage: round(seconds, 6)
                 for stage, seconds in sorted(self.stage_seconds.items())
             },
+            "parallel": dict(self.parallel),
         }
 
     def reset(self) -> None:
@@ -105,6 +136,7 @@ class EngineStats:
         self.counters.clear()
         self.backend_calls.clear()
         self.stage_seconds.clear()
+        self.parallel.clear()
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,16 @@ class SelfLoopError(GraphError, ValueError):
         self.vertex = vertex
 
 
+class BackendError(ReproError):
+    """A decomposition backend failed mechanically (not algorithmically).
+
+    Raised by the ``parallel`` backend when a worker process dies or the
+    pool cannot be created; the input graph is always left untouched and
+    the caller can retry with an in-process backend (``csr``/``reference``)
+    or ``workers=1``.
+    """
+
+
 class DecompositionError(ReproError):
     """The decomposition state is inconsistent with the underlying graph."""
 

@@ -1,15 +1,18 @@
-"""``repro.fast`` — flat-array (CSR) kernel backend for the static hot paths.
+"""``repro.fast`` — flat-array (CSR) kernel backends for the static hot paths.
 
 The reference implementations in :mod:`repro.core` and
 :mod:`repro.graph.triangles` run on hash-keyed dicts of canonical edge
 tuples: ideal for dynamic updates and as a cross-validation oracle, but an
 order of magnitude slower than necessary for one-shot static work.  This
-package provides the fast path behind ``backend="csr"``:
+package provides the fast paths behind ``backend="csr"`` and
+``backend="parallel"``:
 
 * :class:`~repro.fast.csr.CSRGraph` — immutable integer-relabeled CSR
   snapshot of a :class:`~repro.graph.undirected.Graph`;
-* :mod:`repro.fast.kernels` — triangle counting/supports and the
+* :mod:`~repro.fast.kernels` — triangle counting/supports and the
   Algorithm 1 peeling kernel over flat int arrays;
+* :mod:`~repro.fast.parallel` — the same enumeration sharded by vertex
+  range over a process pool (the peel stays sequential);
 * this module — decoding kernel output back into the public dict-based
   API (:class:`~repro.core.triangle_kcore.TriangleKCoreResult` et al.)
   and the ``backend`` dispatch policy shared by every entry point.
@@ -25,67 +28,133 @@ Backends
     (the test suite asserts it property-based against both the reference
     and networkx), but its processing order may break ties differently —
     any non-decreasing-kappa order is valid.
+``"parallel"``
+    ``"csr"`` with the triangle enumeration fanned out over a
+    ``multiprocessing`` pool (:mod:`repro.fast.parallel`).  Bit-identical
+    to ``"csr"`` — same kappa map *and* processing order — for any worker
+    count; pays one CSR pickling per decomposition, so it only wins on
+    large graphs.
 ``"auto"``
-    ``"csr"`` for static calls on graphs with at least
-    :data:`AUTO_MIN_EDGES` edges, ``"reference"`` otherwise (snapshot
-    construction overhead dominates below that) and whenever membership
+    ``"parallel"`` for static calls on graphs with at least
+    :data:`AUTO_PARALLEL_MIN_EDGES` edges when more than one CPU is
+    available; else ``"csr"`` at or above :data:`AUTO_MIN_EDGES` edges
+    (snapshot construction overhead dominates below that); else
+    ``"reference"`` — and always ``"reference"`` whenever membership
     bookkeeping is requested.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..graph.edge import Edge
 from ..graph.undirected import Graph
 from .csr import CSRGraph
 from .kernels import peel, supports_and_triangles, triangle_count, triangle_supports
+from .parallel import (
+    BackendError,
+    effective_workers,
+    inject_shard_merge_bug,
+    parallel_count_triangles,
+    parallel_decomposition,
+    parallel_supports_and_triangles,
+    shard_ranges,
+)
 
 __all__ = [
     "AUTO_MIN_EDGES",
+    "AUTO_PARALLEL_MIN_EDGES",
     "BACKENDS",
+    "BackendError",
     "CSRGraph",
     "csr_count_triangles",
     "csr_decomposition",
     "csr_triangle_supports",
+    "effective_workers",
+    "inject_shard_merge_bug",
+    "parallel_count_triangles",
+    "parallel_decomposition",
+    "parallel_supports_and_triangles",
+    "parallel_triangle_supports",
     "peel",
     "resolve_backend",
+    "shard_ranges",
     "supports_and_triangles",
     "triangle_count",
     "triangle_supports",
 ]
 
-BACKENDS = ("auto", "reference", "csr")
+#: Backends this package can resolve (the engine registry adds more, e.g.
+#: ``"dynamic"`` — see :func:`_known_backends`).
+BACKENDS = ("auto", "reference", "csr", "parallel")
 
 #: "auto" switches to the CSR kernels at this edge count; below it the
 #: snapshot build costs more than the dict overhead it saves (measured in
 #: benchmarks/bench_backend_kernels.py — the crossover sits near 10^3 edges).
 AUTO_MIN_EDGES = 1024
 
+#: "auto" escalates from "csr" to "parallel" at this edge count, provided
+#: more than one CPU is available (measured in
+#: benchmarks/bench_parallel_backend.py — below it the CSR pickling and
+#: pool spawn cost more than the sharded enumeration saves).
+AUTO_PARALLEL_MIN_EDGES = 65536
+
+
+def _known_backends() -> Tuple[str, ...]:
+    """Every backend name the system knows, for error messages.
+
+    Derived from the engine registry when importable (so engine-level
+    backends such as ``"dynamic"`` — and anything added via
+    ``Engine.register_backend`` defaults — are listed automatically),
+    falling back to this package's own tuple during partial imports.
+    """
+    try:
+        from ..engine.engine import _BUILTIN_BACKENDS
+
+        return ("auto",) + tuple(_BUILTIN_BACKENDS)
+    except ImportError:  # pragma: no cover - only during bootstrap
+        return BACKENDS
+
 
 def resolve_backend(
-    backend: str, graph: Graph, *, needs_reference: bool = False
+    backend: str,
+    graph: Graph,
+    *,
+    needs_reference: bool = False,
+    workers: Optional[int] = None,
 ) -> str:
-    """Resolve ``backend`` to ``"reference"`` or ``"csr"`` for ``graph``.
+    """Resolve ``backend`` to ``"reference"``, ``"csr"`` or ``"parallel"``.
 
     ``needs_reference`` marks calls the kernels cannot serve (currently:
     membership bookkeeping); ``"auto"`` then degrades silently while an
-    explicit ``"csr"`` raises, so callers never get an answer computed
-    differently from what they asked for.
+    explicit kernel backend raises, so callers never get an answer computed
+    differently from what they asked for.  ``workers`` feeds the ``"auto"``
+    policy's parallel escalation (``None`` = one per CPU).
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        known = _known_backends()
+        if backend in known:
+            raise ValueError(
+                f"backend {backend!r} is only available through "
+                f"repro.engine.Engine (known backends: {known})"
+            )
+        raise ValueError(f"unknown backend {backend!r}; expected one of {known}")
     if backend == "reference":
         return "reference"
     if needs_reference:
-        if backend == "csr":
+        if backend != "auto":
             raise ValueError(
-                "backend='csr' does not support membership bookkeeping; "
-                "use backend='reference' (or 'auto')"
+                f"backend={backend!r} does not support membership "
+                "bookkeeping; use backend='reference' (or 'auto')"
             )
         return "reference"
-    if backend == "csr":
-        return "csr"
+    if backend in ("csr", "parallel"):
+        return backend
+    if (
+        graph.num_edges >= AUTO_PARALLEL_MIN_EDGES
+        and effective_workers(workers) > 1
+    ):
+        return "parallel"
     return "csr" if graph.num_edges >= AUTO_MIN_EDGES else "reference"
 
 
@@ -100,20 +169,31 @@ def csr_triangle_supports(graph: Graph) -> Dict[Edge, int]:
     return dict(zip(csr.edge_labels(), triangle_supports(csr)))
 
 
-def csr_decomposition(
-    graph: Graph, *, counters: Optional[Dict[str, int]] = None
-) -> "TriangleKCoreResult":  # noqa: F821
-    """Algorithm 1 via the CSR kernels, decoded to the public result type.
+def parallel_triangle_supports(
+    graph: Graph, *, workers: Optional[int] = None
+) -> Dict[Edge, int]:
+    """``{canonical edge: triangle support}`` via the sharded enumeration."""
+    csr = CSRGraph.from_graph(graph)
+    supports, _ = parallel_supports_and_triangles(csr, workers=workers)
+    return dict(zip(csr.edge_labels(), supports))
 
-    ``counters`` mirrors the instrumentation hook of
-    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`: the
-    same keys, derived from arrays the kernels build anyway.
+
+def _decode_decomposition(
+    csr: CSRGraph,
+    precomputed: Tuple[List[int], List[int]],
+    counters: Optional[Dict[str, int]] = None,
+) -> "TriangleKCoreResult":  # noqa: F821
+    """Peel ``precomputed`` and decode into the public result type.
+
+    Shared tail of the ``csr`` and ``parallel`` backends: given the
+    ``(supports, tri_edges)`` pair — however it was computed — run the
+    sequential Algorithm 1 peel and translate edge ids back to canonical
+    label tuples.  ``counters`` mirrors the instrumentation hook of
+    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`.
     """
     # Imported lazily: repro.core.triangle_kcore dispatches into this module.
     from ..core.triangle_kcore import TriangleKCoreResult
 
-    csr = CSRGraph.from_graph(graph)
-    precomputed = supports_and_triangles(csr)
     kappa_by_eid, order_by_eid = peel(csr, precomputed)
     edges = csr.edge_labels()
     kappa: Dict[Edge, int] = dict(zip(edges, kappa_by_eid))
@@ -125,3 +205,17 @@ def csr_decomposition(
         counters["edges_peeled"] = len(kappa)
         counters["bucket_decrements"] = support_sum - int(sum(kappa_by_eid))
     return TriangleKCoreResult(kappa=kappa, processing_order=processing_order)
+
+
+def csr_decomposition(
+    graph: Graph, *, counters: Optional[Dict[str, int]] = None
+) -> "TriangleKCoreResult":  # noqa: F821
+    """Algorithm 1 via the CSR kernels, decoded to the public result type.
+
+    ``counters`` mirrors the instrumentation hook of
+    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`: the
+    same keys, derived from arrays the kernels build anyway.
+    """
+    csr = CSRGraph.from_graph(graph)
+    precomputed = supports_and_triangles(csr)
+    return _decode_decomposition(csr, precomputed, counters)

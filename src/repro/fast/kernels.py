@@ -30,7 +30,7 @@ from . import csr as _csr_mod
 from .csr import CSRGraph
 
 
-def _forward_wedges(csr: CSRGraph):
+def _forward_wedges(csr: CSRGraph, lo: int = 0, hi: Optional[int] = None):
     """Vectorized forward-wedge join (numpy path).
 
     Returns ``(e_uv, e_uw, e_vw)`` int64 arrays, one entry per triangle, in
@@ -41,10 +41,19 @@ def _forward_wedges(csr: CSRGraph):
     is an edge, which one searchsorted over the sorted edge keys answers —
     and the found rank IS the edge id, because ids are assigned in sorted
     key order.
+
+    ``lo``/``hi`` restrict the *first* vertex of each wedge to the id range
+    ``[lo, hi)`` — the sharding primitive behind the ``parallel`` backend.
+    Because every triangle is discovered exactly once, from its
+    lowest-ranked vertex, concatenating the outputs of disjoint covering
+    ranges in ascending range order reproduces the full-graph output
+    bit for bit.
     """
     np = _csr_mod.np
     n = csr.num_vertices
     m = csr.num_edges
+    if hi is None:
+        hi = n
     indptr = np.frombuffer(csr.indptr, dtype=np.int64)
     dst = np.frombuffer(csr.indices, dtype=np.int64)
     eids = np.frombuffer(csr.arc_eids, dtype=np.int64)
@@ -52,10 +61,11 @@ def _forward_wedges(csr: CSRGraph):
     endpoints = np.frombuffer(csr.edge_endpoints, dtype=np.int64)
     edge_keys = endpoints[0::2] * n + endpoints[1::2]
 
-    degrees = indptr[1:] - indptr[:-1]
-    positions = np.arange(2 * m, dtype=np.int64)
-    block_end = np.repeat(indptr[1:], degrees)
-    is_forward = positions >= np.repeat(fstart, degrees)
+    block_ends = indptr[lo + 1 : hi + 1]
+    degrees = block_ends - indptr[lo:hi]
+    positions = np.arange(indptr[lo], indptr[hi], dtype=np.int64)
+    block_end = np.repeat(block_ends, degrees)
+    is_forward = positions >= np.repeat(fstart[lo:hi], degrees)
     counts = np.where(is_forward, block_end - positions - 1, 0)
     total = int(counts.sum())
     if total == 0:
@@ -112,7 +122,11 @@ def triangle_supports(csr: CSRGraph) -> List[int]:
 
 
 def supports_and_triangles(
-    csr: CSRGraph, *, record_triangles: bool = True
+    csr: CSRGraph,
+    *,
+    record_triangles: bool = True,
+    lo: int = 0,
+    hi: Optional[int] = None,
 ) -> Tuple[List[int], List[int]]:
     """One forward pass: supports plus (optionally) the flat triangle list.
 
@@ -122,15 +136,25 @@ def supports_and_triangles(
     peeling kernel consumes both, so the triangles found while counting
     supports are never recomputed.
 
+    ``lo``/``hi`` restrict the scan to triangles whose lowest-ranked vertex
+    falls in the id range ``[lo, hi)`` (default: the whole graph).  The
+    returned ``supports`` list always has length ``m``: a shard may touch
+    edges owned by other shards, and summing the per-shard lists
+    element-wise plus concatenating the per-shard ``tri_edges`` in ascending
+    range order reproduces the full-graph call exactly — the contract the
+    ``parallel`` backend's merge step relies on.
+
     Both implementations (vectorized numpy join, pure merge loop) emit the
     same triangles in the same order, so downstream results are identical
     with and without numpy — the test suite asserts it.
     """
+    if hi is None:
+        hi = csr.num_vertices
     np = _csr_mod.np
     if np is not None:
         if csr.num_edges == 0:
             return [], []
-        e_uv, e_uw, e_vw = _forward_wedges(csr)
+        e_uv, e_uw, e_vw = _forward_wedges(csr, lo, hi)
         supports = np.bincount(
             np.concatenate((e_uv, e_uw, e_vw)), minlength=csr.num_edges
         )
@@ -148,7 +172,7 @@ def supports_and_triangles(
     supports = [0] * csr.num_edges
     tri_edges: List[int] = []
     append = tri_edges.append
-    for u in range(csr.num_vertices):
+    for u in range(lo, hi):
         a_end = indptr[u + 1]
         for p in range(fstart[u], a_end):
             v = indices[p]

@@ -1,0 +1,356 @@
+"""Process-parallel triangle enumeration: the ``parallel`` backend.
+
+Table II shows Algorithm 1's cost is dominated by triangle enumeration /
+support counting, and that stage shards cleanly: every triangle is
+discovered exactly once, from its lowest-ranked vertex, so partitioning
+the CSR vertex range ``[0, n)`` into contiguous shards partitions the
+triangle set.  This module fans that stage out over a process pool:
+
+1. the parent freezes the graph into a :class:`~repro.fast.csr.CSRGraph`
+   and ships the flat arrays to each worker **once**, through the pool
+   initializer (workers hold them in a module global for the pool's
+   lifetime);
+2. each worker runs :func:`~repro.fast.kernels.supports_and_triangles`
+   over its vertex range ``[lo, hi)`` and returns a full-length support
+   array plus its shard's triangle list;
+3. the parent sums the support arrays element-wise and concatenates the
+   triangle lists in shard order — bit-identical to the sequential
+   enumeration, because shard outputs preserve the global discovery
+   order — then runs the existing **sequential** peel.
+
+Because the merged ``(supports, tri_edges)`` equals the single-process
+kernel output exactly, the ``parallel`` backend produces the same kappa
+map *and* processing order as ``csr`` for any worker count, and the same
+kappa map as ``reference`` (the conformance suite asserts both).
+
+Shards are balanced by arc count, not vertex count: the CSR relabels
+vertices in ascending degree order, so equal vertex ranges would put all
+hubs in the last shard.
+
+Failure contract: a worker that dies (OOM kill, segfault, ``os._exit``)
+surfaces as :class:`~repro.exceptions.BackendError` in the parent — never
+a hang — because :class:`concurrent.futures.ProcessPoolExecutor` detects
+broken pools.  ``workers=1`` (and any graph that yields a single shard)
+short-circuits to the in-process CSR path: no pool, no pickling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import BackendError
+from ..graph.undirected import Graph
+from . import csr as _csr_mod
+from .csr import CSRGraph
+from .kernels import supports_and_triangles
+
+__all__ = [
+    "BackendError",
+    "ParallelInfo",
+    "effective_workers",
+    "parallel_count_triangles",
+    "parallel_decomposition",
+    "parallel_supports_and_triangles",
+    "shard_ranges",
+]
+
+#: Structured record of one parallel run, for engine instrumentation:
+#: ``{"workers": int, "shards": int, "shard_seconds": [float, ...]}``.
+ParallelInfo = Dict[str, object]
+
+#: Environment knob tests use to make every pool worker die on startup,
+#: proving the crash path raises BackendError instead of hanging.
+_CRASH_ENV = "_REPRO_PARALLEL_CRASH_TEST"
+
+#: When True (via :func:`inject_shard_merge_bug`), the merge step drops the
+#: last triangle of the final shard — the deliberate off-by-one the
+#: mutation smoke-check must catch and shrink.
+_SHARD_MERGE_BUG = False
+
+
+def effective_workers(workers: Optional[int]) -> int:
+    """Resolve a ``workers`` request to a concrete count (``>= 1``).
+
+    ``None`` means "one per CPU" (``os.cpu_count()``); explicit values are
+    validated but not capped — oversubscription is the caller's choice.
+    """
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def shard_ranges(csr: CSRGraph, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n)`` into at most ``shards`` contiguous vertex ranges.
+
+    Cut points are chosen on the arc-count prefix (``indptr``) so every
+    shard scans roughly the same number of adjacency entries regardless of
+    the degree distribution.  Degenerate cuts are deduplicated, so sparse
+    or tiny graphs may yield fewer ranges than requested (possibly a
+    single one); an empty graph yields no ranges.
+    """
+    n = csr.num_vertices
+    if n == 0 or shards <= 1:
+        return [(0, n)] if n else []
+    total_arcs = csr.indptr[n]
+    if total_arcs == 0:
+        return [(0, n)]
+    shards = min(shards, n)
+    cuts = [0]
+    for i in range(1, shards):
+        target = (total_arcs * i) // shards
+        cut = bisect_left(csr.indptr, target)
+        if cut > cuts[-1] and cut < n:
+            cuts.append(cut)
+    cuts.append(n)
+    return list(zip(cuts[:-1], cuts[1:]))
+
+
+# ---------------------------------------------------------------------- #
+# worker-side machinery
+# ---------------------------------------------------------------------- #
+
+#: Worker-process CSR snapshot, installed once by :func:`_init_worker`.
+_WORKER_CSR: Optional[CSRGraph] = None
+
+
+def _csr_payload(csr: CSRGraph) -> tuple:
+    """Pickle-friendly flat-array snapshot (labels omitted: kernels never
+    touch original labels, and they can be arbitrary unpicklable objects)."""
+    return (
+        csr.num_vertices,
+        csr.num_edges,
+        csr.indptr.tobytes(),
+        csr.indices.tobytes(),
+        csr.arc_eids.tobytes(),
+        csr.forward_start.tobytes(),
+        csr.edge_endpoints.tobytes(),
+    )
+
+
+def _csr_from_payload(payload: tuple) -> CSRGraph:
+    csr = CSRGraph()
+    (
+        csr.num_vertices,
+        csr.num_edges,
+        indptr,
+        indices,
+        arc_eids,
+        forward_start,
+        edge_endpoints,
+    ) = payload
+    csr.indptr = array("q", indptr)
+    csr.indices = array("q", indices)
+    csr.arc_eids = array("q", arc_eids)
+    csr.forward_start = array("q", forward_start)
+    csr.edge_endpoints = array("q", edge_endpoints)
+    return csr
+
+
+def _init_worker(payload: tuple) -> None:
+    """Pool initializer: receive the CSR arrays once, keep them global."""
+    if os.environ.get(_CRASH_ENV):
+        os._exit(13)
+    global _WORKER_CSR
+    _WORKER_CSR = _csr_from_payload(payload)
+
+
+def _supports_shard(bounds: Tuple[int, int]) -> Tuple[List[int], List[int], float]:
+    """One worker task: supports + triangles for the vertex range."""
+    lo, hi = bounds
+    start = time.perf_counter()
+    supports, tri_edges = supports_and_triangles(_WORKER_CSR, lo=lo, hi=hi)
+    return supports, tri_edges, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------- #
+# parent-side merge
+# ---------------------------------------------------------------------- #
+
+
+def _merge_shards(
+    csr: CSRGraph,
+    shard_outputs: Sequence[Tuple[List[int], List[int], float]],
+) -> Tuple[Tuple[List[int], List[int]], List[float]]:
+    """Sum per-shard supports, concatenate triangle lists in shard order."""
+    np = _csr_mod.np
+    m = csr.num_edges
+    if np is not None:
+        total = np.zeros(m, dtype=np.int64)
+        for supports, _, _ in shard_outputs:
+            total += np.asarray(supports, dtype=np.int64)
+        supports = total.tolist()
+    else:
+        supports = [0] * m
+        for shard_supports, _, _ in shard_outputs:
+            for e, count in enumerate(shard_supports):
+                if count:
+                    supports[e] += count
+    tri_edges: List[int] = []
+    for _, shard_tris, _ in shard_outputs:
+        tri_edges.extend(shard_tris)
+    if _SHARD_MERGE_BUG and tri_edges:
+        # Deliberate fault injection (see inject_shard_merge_bug): lose the
+        # final shard's last triangle, keeping supports/tri_edges mutually
+        # consistent so the error shows up as a wrong kappa, not a crash.
+        for e in tri_edges[-3:]:
+            supports[e] -= 1
+        del tri_edges[-3:]
+    seconds = [elapsed for _, _, elapsed in shard_outputs]
+    return (supports, tri_edges), seconds
+
+
+def parallel_supports_and_triangles(
+    csr: CSRGraph,
+    *,
+    workers: Optional[int] = None,
+    inprocess: bool = False,
+    info: Optional[ParallelInfo] = None,
+) -> Tuple[List[int], List[int]]:
+    """Sharded ``(supports, tri_edges)``, identical to the sequential call.
+
+    ``inprocess=True`` computes the shards serially in this process but
+    still routes them through the same split/merge code — the cheap way
+    for tests (and the fuzz oracle) to exercise the shard arithmetic
+    without paying a pool spawn per call.  ``info`` (when given) receives
+    the worker count, shard count, and per-shard wall times.
+    """
+    count = effective_workers(workers)
+    shards = shard_ranges(csr, count)
+    if info is not None:
+        info["workers"] = count
+        info["shards"] = len(shards)
+        info["shard_seconds"] = []
+    if len(shards) <= 1 and not _SHARD_MERGE_BUG:
+        return supports_and_triangles(csr)
+    if inprocess or (len(shards) <= 1 and _SHARD_MERGE_BUG):
+        payload_csr = csr
+        outputs = [_shard_inprocess(payload_csr, bounds) for bounds in shards]
+    else:
+        outputs = _run_pool(csr, shards, count)
+    precomputed, seconds = _merge_shards(csr, outputs)
+    if info is not None:
+        info["shard_seconds"] = [round(s, 6) for s in seconds]
+    return precomputed
+
+
+def _shard_inprocess(
+    csr: CSRGraph, bounds: Tuple[int, int]
+) -> Tuple[List[int], List[int], float]:
+    lo, hi = bounds
+    start = time.perf_counter()
+    supports, tri_edges = supports_and_triangles(csr, lo=lo, hi=hi)
+    return supports, tri_edges, time.perf_counter() - start
+
+
+def _run_pool(
+    csr: CSRGraph, shards: List[Tuple[int, int]], workers: int
+) -> List[Tuple[List[int], List[int], float]]:
+    """Fan the shards out over a fresh process pool; fail loud, never hang."""
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool_size = min(workers, len(shards))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            initializer=_init_worker,
+            initargs=(_csr_payload(csr),),
+        ) as pool:
+            return list(pool.map(_supports_shard, shards))
+    except BrokenProcessPool as error:
+        raise BackendError(
+            f"parallel backend: a worker process died while enumerating "
+            f"triangles ({pool_size} workers, {len(shards)} shards); the "
+            f"graph is untouched — retry with backend='csr' or workers=1"
+        ) from error
+    except (OSError, ValueError) as error:
+        raise BackendError(
+            f"parallel backend: could not run the {pool_size}-worker "
+            f"process pool ({error}); retry with backend='csr' or workers=1"
+        ) from error
+
+
+# ---------------------------------------------------------------------- #
+# public backend entry points
+# ---------------------------------------------------------------------- #
+
+
+def parallel_count_triangles(
+    graph: Graph, *, workers: Optional[int] = None, inprocess: bool = False
+) -> int:
+    """Total triangle count via the sharded enumeration."""
+    csr = CSRGraph.from_graph(graph)
+    supports, _ = parallel_supports_and_triangles(
+        csr, workers=workers, inprocess=inprocess
+    )
+    return sum(supports) // 3
+
+
+def parallel_decomposition(
+    graph: Graph,
+    *,
+    workers: Optional[int] = None,
+    inprocess: bool = False,
+    counters: Optional[Dict[str, int]] = None,
+    info: Optional[ParallelInfo] = None,
+) -> "TriangleKCoreResult":  # noqa: F821
+    """Algorithm 1 with process-parallel triangle enumeration.
+
+    Enumeration/support counting fans out over ``workers`` processes (see
+    module docstring); the peel itself stays sequential, as in the paper.
+    Output is bit-identical to ``backend="csr"`` — same kappa map, same
+    processing order — for every worker count.
+
+    ``workers=None`` uses one worker per CPU; ``workers=1`` (or any graph
+    too small to split) short-circuits to the in-process CSR kernels.
+    ``counters`` mirrors the instrumentation hook of the other backends;
+    ``info`` additionally receives ``workers``/``shards``/``shard_seconds``.
+    """
+    from . import _decode_decomposition
+
+    count = effective_workers(workers)
+    if count <= 1 and not _SHARD_MERGE_BUG:
+        if info is not None:
+            info["workers"] = 1
+            info["shards"] = 1
+            info["shard_seconds"] = []
+        from . import csr_decomposition
+
+        return csr_decomposition(graph, counters=counters)
+    csr = CSRGraph.from_graph(graph)
+    precomputed = parallel_supports_and_triangles(
+        csr, workers=count, inprocess=inprocess, info=info
+    )
+    return _decode_decomposition(csr, precomputed, counters)
+
+
+# ---------------------------------------------------------------------- #
+# fault injection (mutation smoke-check)
+# ---------------------------------------------------------------------- #
+
+
+class inject_shard_merge_bug:
+    """Context manager: make the shard merge lose its last triangle.
+
+    While active, :func:`parallel_supports_and_triangles` silently drops
+    the final triangle from the merged list (supports adjusted to stay
+    consistent, so the peel's sanity check passes) — exactly the class of
+    off-by-one a buggy shard-sum would produce.  The mutation smoke-check
+    proves the differential harness detects and shrinks it; see
+    ``tests/test_parallel_backend.py`` and docs/testing.md.
+    """
+
+    def __enter__(self) -> "inject_shard_merge_bug":
+        global _SHARD_MERGE_BUG
+        _SHARD_MERGE_BUG = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _SHARD_MERGE_BUG
+        _SHARD_MERGE_BUG = False

@@ -11,7 +11,7 @@ failure and a local ``pytest`` failure point at the same code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .bundle import ReproBundle
 from .editscript import EditScript
@@ -60,6 +60,7 @@ class FuzzResult:
 def _script_fails(
     checkpoint_every: int,
     oracles: Tuple[str, ...],
+    oracle_options: Optional[Dict[str, object]],
     sut_factory: SutFactory,
 ):
     """Build the shrinker predicate matching the runner configuration.
@@ -74,6 +75,7 @@ def _script_fails(
             script,
             checkpoint_every=min(checkpoint_every, 5),
             oracles=oracles,
+            oracle_options=oracle_options,
             sut_factory=sut_factory,
         ).ok
 
@@ -87,6 +89,7 @@ def fuzz(
     profiles: Optional[Sequence[str]] = None,
     checkpoint_every: int = 100,
     oracles: Tuple[str, ...] = DEFAULT_ORACLES,
+    oracle_options: Optional[Dict[str, object]] = None,
     sut_factory: SutFactory = default_sut,
     shrink: bool = False,
     stop_on_failure: bool = True,
@@ -95,9 +98,10 @@ def fuzz(
 
     Parameters mirror the ``repro fuzz`` CLI flags; ``sut_factory`` is the
     extra hook the mutation smoke-check uses to inject a deliberately buggy
-    maintainer.  Returns a :class:`FuzzResult`; on divergence each failing
-    outcome carries a ready-to-save :class:`ReproBundle` (shrunk when
-    ``shrink=True``).
+    maintainer, and ``oracle_options`` configures the oracle matrix (see
+    :func:`~repro.testing.runner.run_script`).  Returns a
+    :class:`FuzzResult`; on divergence each failing outcome carries a
+    ready-to-save :class:`ReproBundle` (shrunk when ``shrink=True``).
     """
     selected = list(profiles) if profiles is not None else sorted(PROFILES)
     result = FuzzResult()
@@ -107,6 +111,7 @@ def fuzz(
             script,
             checkpoint_every=checkpoint_every,
             oracles=oracles,
+            oracle_options=oracle_options,
             sut_factory=sut_factory,
         )
         outcome = ProfileOutcome(profile=profile, seed=seed, report=report)
@@ -116,7 +121,9 @@ def fuzz(
             if shrink:
                 shrink_result = shrink_script(
                     script,
-                    _script_fails(checkpoint_every, oracles, sut_factory),
+                    _script_fails(
+                        checkpoint_every, oracles, oracle_options, sut_factory
+                    ),
                 )
                 final_script = shrink_result.script
                 # Re-run the shrunk script to report *its* divergence (the
@@ -125,6 +132,7 @@ def fuzz(
                     final_script,
                     checkpoint_every=min(checkpoint_every, 5),
                     oracles=oracles,
+                    oracle_options=oracle_options,
                     sut_factory=sut_factory,
                 )
                 divergence = report_for_bundle.divergence

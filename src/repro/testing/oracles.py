@@ -15,6 +15,14 @@ kappa map against every *checkpoint oracle* registered here:
     networkx's ``k_truss`` (written independently of this library),
     compared through the kappa = truss - 2 correspondence.  Skipped
     automatically when networkx is not importable.
+``parallel``
+    The sharded enumeration backend (:mod:`repro.fast.parallel`) run on
+    the shadow graph.  Opt-in (not in :data:`DEFAULT_ORACLES` — it is
+    bit-identical to ``csr`` by construction, so it only adds signal
+    when the shard split/merge path itself is under suspicion).  By
+    default it runs *in process* (same shard/merge code, no pool spawn)
+    so fuzz loops and the shrinker stay fast; pass
+    ``parallel_inprocess=False`` to exercise real worker processes.
 
 Fault injection lives here too: :class:`OffByOneMaintainer` wraps the real
 maintainer and misreports kappa by +1 on a chosen level.  The mutation
@@ -33,10 +41,11 @@ from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
 
 #: Checkpoint oracle names, in the order they are evaluated.
-ORACLE_NAMES = ("recompute", "csr", "networkx")
+ORACLE_NAMES = ("recompute", "csr", "networkx", "parallel")
 
-#: Default oracle selection ("networkx" degrades to a no-op if unavailable).
-DEFAULT_ORACLES = ORACLE_NAMES
+#: Default oracle selection ("networkx" degrades to a no-op if unavailable;
+#: "parallel" is opt-in — see the module docstring).
+DEFAULT_ORACLES = ("recompute", "csr", "networkx")
 
 
 def networkx_available() -> bool:
@@ -57,7 +66,13 @@ class CheckpointOracles:
     every oracle that ran.
     """
 
-    def __init__(self, oracles: Tuple[str, ...] = DEFAULT_ORACLES) -> None:
+    def __init__(
+        self,
+        oracles: Tuple[str, ...] = DEFAULT_ORACLES,
+        *,
+        parallel_workers: int = 2,
+        parallel_inprocess: bool = True,
+    ) -> None:
         for name in oracles:
             if name not in ORACLE_NAMES:
                 raise ValueError(
@@ -67,6 +82,8 @@ class CheckpointOracles:
         self._baseline: Optional[RecomputeBaseline] = None
         self._baseline_edges: set = set()
         self._nx_usable = "networkx" in self._names and networkx_available()
+        self._parallel_workers = parallel_workers
+        self._parallel_inprocess = parallel_inprocess
         # Private, cache-disabled engine: each oracle must recompute from
         # scratch every checkpoint — serving one oracle's cached artifact
         # to another would collapse their independence.
@@ -98,6 +115,14 @@ class CheckpointOracles:
                 from ..baselines.nx_truss import networkx_kappa
 
                 answers[name] = networkx_kappa(shadow)
+            elif name == "parallel":
+                from ..fast import parallel_decomposition
+
+                answers[name] = parallel_decomposition(
+                    shadow,
+                    workers=self._parallel_workers,
+                    inprocess=self._parallel_inprocess,
+                ).kappa
         return answers
 
     def _recompute_kappa(self, shadow: Graph) -> Dict[Edge, int]:

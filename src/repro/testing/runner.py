@@ -197,17 +197,22 @@ def run_script(
     *,
     checkpoint_every: int = 100,
     oracles: Tuple[str, ...] = DEFAULT_ORACLES,
+    oracle_options: Optional[Dict[str, object]] = None,
     sut_factory: SutFactory = default_sut,
     check_invariants: bool = True,
 ) -> RunReport:
     """Play ``script`` from an empty graph, cross-checking as documented.
+
+    ``oracle_options`` are keyword arguments forwarded to
+    :class:`CheckpointOracles` (e.g. ``parallel_workers`` /
+    ``parallel_inprocess`` for the opt-in ``"parallel"`` oracle).
 
     Returns a :class:`RunReport`; ``report.ok`` is False exactly when a
     divergence was found (the run stops at the first one).
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
-    matrix = CheckpointOracles(oracles)
+    matrix = CheckpointOracles(oracles, **(oracle_options or {}))
     shadow = Graph()
     sut = sut_factory(Graph())
     checkpoints = 0
