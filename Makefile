@@ -6,6 +6,7 @@
 #   make bench      regenerate every paper table & figure
 #   make bench-engine  engine dispatch/cache/dynamic-timeline gates
 #   make bench-parallel  parallel backend vs csr speedup gate
+#   make bench-service  query-service closed-loop load generator
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
 #   make artifacts  test + bench with logs captured at the repo root
@@ -16,7 +17,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine bench-parallel figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel bench-service figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +33,9 @@ bench-engine:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_backend.py
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 figures: bench
 

@@ -15,6 +15,10 @@ Subcommands
 * ``fuzz`` — differential oracle fuzzing of the dynamic maintainer
   (see docs/testing.md): generate seeded workloads, cross-check every
   oracle, shrink and dump any divergence as a replayable JSON bundle.
+* ``serve`` — run the long-lived HTTP/JSON query service
+  (see docs/SERVICE.md): load a graph once, answer kappa / community /
+  hierarchy / template queries and ingest live edit batches, with
+  bounded-queue backpressure and a clean SIGTERM drain.
 
 Every decomposition-running subcommand routes through a private
 :class:`repro.engine.Engine` and accepts ``--backend`` (any engine
@@ -541,6 +545,38 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceServer, ServiceState, run_server
+
+    engine = _make_engine(args)
+    graph = _load_graph(args.graph)
+    state = ServiceState(graph, backend=args.backend, engine=engine)
+
+    def announce(server: ServiceServer) -> None:
+        # The port is printed (flush=True) so wrappers binding port 0 can
+        # parse where the kernel actually put us.
+        print(
+            f"serving {args.graph} (|V|={state.graph.num_vertices} "
+            f"|E|={state.graph.num_edges}, backend {state.backend}) "
+            f"on http://{args.host}:{server.port}",
+            flush=True,
+        )
+
+    server = ServiceServer(
+        state,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        rate_limit=args.rate_limit,
+        request_timeout=args.request_timeout,
+        degrade_after=args.degrade_after,
+    )
+    run_server(server, announce=announce)
+    print("drained cleanly", flush=True)
+    _emit_stats(args, engine)
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from .datasets import load, names
 
@@ -555,9 +591,17 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="triangle-kcore",
         description="Triangle K-Core motifs: extraction, maintenance, plots",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -741,6 +785,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel oracle (default: 2)",
     )
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve", help="run the long-lived HTTP/JSON query service"
+    )
+    p.add_argument("graph", help="dataset name or edge-list path")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 picks a free one; the bound port is printed)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        dest="max_queue",
+        metavar="N",
+        help="pending-request cap; beyond it requests get 503 immediately",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        dest="rate_limit",
+        metavar="RPS",
+        help="per-client token-bucket limit in requests/second "
+        "(429 + Retry-After when exceeded; default: unlimited)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=10.0,
+        dest="request_timeout",
+        metavar="SECONDS",
+        help="shed requests that waited this long in queue (503 timed_out)",
+    )
+    p.add_argument(
+        "--degrade-after",
+        type=int,
+        default=None,
+        dest="degrade_after",
+        metavar="DEPTH",
+        help="queue depth at which derived reads (community/hierarchy/"
+        "templates) may serve the last cached answer, marked degraded "
+        "(default: never degrade)",
+    )
+    _add_engine_arguments(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("datasets", help="list built-in datasets")
     p.set_defaults(func=_cmd_datasets)

@@ -149,6 +149,13 @@ class DynamicTriangleKCore:
         Initial graph.  A private copy is taken unless ``copy=False``; with
         ``copy=False`` the caller must *only* mutate the graph through this
         maintainer, otherwise kappa values go stale.
+    seed_result:
+        Optional precomputed :class:`TriangleKCoreResult` for ``graph``
+        (e.g. from a faster engine backend, or loaded via
+        :mod:`repro.core.persistence`).  When given, the warm-up
+        decomposition is skipped and the maintainer starts from a copy of
+        its kappa map.  The result must cover exactly the graph's edges;
+        a mismatch raises :class:`~repro.exceptions.StaleIndexError`.
 
     Examples
     --------
@@ -167,9 +174,21 @@ class DynamicTriangleKCore:
         *,
         copy: bool = True,
         store_triangles: bool = False,
+        seed_result: Optional[TriangleKCoreResult] = None,
     ) -> None:
         self._graph = graph.copy() if copy else graph
-        self._kappa: Dict[Edge, int] = triangle_kcore_decomposition(self._graph).kappa
+        if seed_result is not None:
+            if len(seed_result.kappa) != self._graph.num_edges or any(
+                not self._graph.has_edge(u, v) for (u, v) in seed_result.kappa
+            ):
+                raise StaleIndexError(
+                    "seed_result does not match the graph: it covers "
+                    f"{len(seed_result.kappa)} edges, the graph has "
+                    f"{self._graph.num_edges}; recompute or drop seed_result"
+                )
+            self._kappa: Dict[Edge, int] = dict(seed_result.kappa)
+        else:
+            self._kappa = triangle_kcore_decomposition(self._graph).kappa
         if store_triangles:
             from ..graph.triangle_store import TriangleStore
 

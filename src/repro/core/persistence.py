@@ -8,6 +8,10 @@ versioned JSON document.
 Vertices must be JSON-representable scalars (int / str / float / bool);
 anything richer raises :class:`~repro.exceptions.DecompositionError` at
 save time rather than producing an unloadable file.
+
+Loading is strict: a truncated, corrupt, or schema-violating file raises
+a typed :class:`~repro.exceptions.PersistenceError` naming the offending
+path — never a raw ``json.JSONDecodeError`` or ``KeyError``.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import json
 import os
 from typing import List, Union
 
-from ..exceptions import DecompositionError
+from ..exceptions import DecompositionError, PersistenceError
 from ..graph.edge import Edge, Vertex, canonical_edge
 from .triangle_kcore import TriangleKCoreResult
 
@@ -70,26 +74,54 @@ def save_result(result: TriangleKCoreResult, path: PathLike) -> None:
 def load_result(path: PathLike) -> TriangleKCoreResult:
     """Read a result written by :func:`save_result`.
 
-    Raises :class:`DecompositionError` for wrong format/version documents.
+    Raises :class:`~repro.exceptions.PersistenceError` (a
+    :class:`DecompositionError` subclass) for anything that is not a
+    well-formed result document: unreadable bytes, invalid JSON, wrong
+    format/version tags, or malformed / wrongly-typed edge entries.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            path, f"not valid JSON (truncated or corrupt file): {error}"
+        ) from error
+    except UnicodeDecodeError as error:
+        raise PersistenceError(path, f"not a UTF-8 text file: {error}") from error
     if not isinstance(document, dict) or document.get("format") != (
         "triangle-kcore-result"
     ):
-        raise DecompositionError(f"{path}: not a triangle-kcore result file")
+        raise PersistenceError(path, "not a triangle-kcore result file")
     if document.get("version") != FORMAT_VERSION:
-        raise DecompositionError(
-            f"{path}: unsupported version {document.get('version')!r} "
-            f"(expected {FORMAT_VERSION})"
+        raise PersistenceError(
+            path,
+            f"unsupported version {document.get('version')!r} "
+            f"(expected {FORMAT_VERSION})",
+        )
+    entries = document.get("edges")
+    if not isinstance(entries, list):
+        raise PersistenceError(
+            path, f"missing or malformed 'edges' list (got {type(entries).__name__})"
         )
     kappa: dict[Edge, int] = {}
     processing_order: List[Edge] = []
-    for entry in document["edges"]:
+    for entry in entries:
         if not (isinstance(entry, list) and len(entry) == 3):
-            raise DecompositionError(f"{path}: malformed edge entry {entry!r}")
+            raise PersistenceError(path, f"malformed edge entry {entry!r}")
         u, v, k = entry
+        if not isinstance(u, _SCALARS) or not isinstance(v, _SCALARS):
+            raise PersistenceError(
+                path, f"non-scalar vertex in edge entry {entry!r}"
+            )
+        if isinstance(k, bool) or not isinstance(k, int) or k < 0:
+            raise PersistenceError(
+                path, f"kappa must be a non-negative integer in {entry!r}"
+            )
+        if u == v:
+            raise PersistenceError(path, f"self loop in edge entry {entry!r}")
         edge = canonical_edge(u, v)
-        kappa[edge] = int(k)
+        if edge in kappa:
+            raise PersistenceError(path, f"duplicate edge entry {entry!r}")
+        kappa[edge] = k
         processing_order.append(edge)
     return TriangleKCoreResult(kappa=kappa, processing_order=processing_order)

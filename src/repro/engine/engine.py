@@ -209,6 +209,7 @@ class Engine:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._registry: Dict[str, BackendFn] = dict(_BUILTIN_BACKENDS)
+        self._stats_sections: Dict[str, Callable[[], Dict[str, object]]] = {}
         self._cache: "OrderedDict[int, _GraphEntry]" = OrderedDict()
         self._max_cached_graphs = max_cached_graphs
         self.dynamic_strategy = dynamic_strategy
@@ -524,7 +525,12 @@ class Engine:
         self._dynamic = None
 
     def maintainer(
-        self, graph: Graph, *, copy: bool = True, store_triangles: bool = False
+        self,
+        graph: Graph,
+        *,
+        copy: bool = True,
+        store_triangles: bool = False,
+        seed_backend: Optional[str] = None,
     ) -> DynamicTriangleKCore:
         """Build an instrumented-by-construction dynamic maintainer.
 
@@ -532,10 +538,27 @@ class Engine:
         counted; the maintainer itself is returned un-wrapped (its own
         per-update :class:`~repro.core.dynamic.UpdateStats` stay the
         fine-grained instrument).
+
+        ``seed_backend`` warms the maintainer from a decomposition served
+        through :meth:`decompose` with that backend (so a registered fast
+        backend — or the artifact cache — pays for the initial kappa map
+        instead of the maintainer's private reference run).  This is the
+        shared-state hook long-lived consumers such as
+        :mod:`repro.service` use: one decomposition, reused for both the
+        engine cache and the authoritative dynamic state.
         """
+        seed_result = None
+        if seed_backend is not None:
+            name = self.resolve(seed_backend, graph)
+            if name == "dynamic":  # the maintainer *is* the dynamic state
+                name = "reference"
+            seed_result = self.decompose(graph, backend=name)
         with self.stats.stage("maintainer.warm"):
             maintainer = DynamicTriangleKCore(
-                graph, copy=copy, store_triangles=store_triangles
+                graph,
+                copy=copy,
+                store_triangles=store_triangles,
+                seed_result=seed_result,
             )
         self.stats.bump("maintainers_built")
         return maintainer
@@ -620,12 +643,48 @@ class Engine:
     # instrumentation
     # ------------------------------------------------------------------ #
 
+    def register_stats_section(
+        self,
+        name: str,
+        provider: Callable[[], Dict[str, object]],
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Attach an extra named section to :meth:`stats_dict`.
+
+        ``provider()`` is called on every ``stats_dict()`` and its return
+        value is embedded under ``payload[name]``.  Sections are additive
+        on top of the ``repro.engine.stats/2`` schema (every /2 key is
+        untouched); a long-lived consumer — the service layer — uses this
+        to publish its own telemetry through the one ``--stats`` pipe.
+        Reserved schema keys cannot be shadowed.
+        """
+        reserved = {
+            "schema",
+            "counters",
+            "backend_calls",
+            "stage_seconds",
+            "parallel",
+            "default_backend",
+            "cached_graphs",
+            "cached_artifacts",
+        }
+        if name in reserved:
+            raise ValueError(f"section name {name!r} shadows a schema key")
+        if name in self._stats_sections and not replace:
+            raise ValueError(
+                f"stats section {name!r} already registered (pass replace=True)"
+            )
+        self._stats_sections[name] = provider
+
     def stats_dict(self) -> Dict[str, object]:
         """Structured instrumentation payload (see ``--stats`` on the CLI)."""
         payload = self.stats.as_dict()
         payload["default_backend"] = self.default_backend
         payload["cached_graphs"] = len(self._cache)
         payload["cached_artifacts"] = self.cached_artifact_count()
+        for name, provider in self._stats_sections.items():
+            payload[name] = provider()
         return payload
 
     def reset_stats(self) -> None:

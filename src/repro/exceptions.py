@@ -67,6 +67,20 @@ class DecompositionError(ReproError):
     """The decomposition state is inconsistent with the underlying graph."""
 
 
+class PersistenceError(DecompositionError):
+    """A persisted artifact could not be read or failed validation.
+
+    Raised by :func:`repro.core.persistence.load_result` for truncated,
+    corrupt, or schema-violating files instead of surfacing raw
+    ``json.JSONDecodeError`` / ``KeyError``.  ``path`` names the offending
+    file.
+    """
+
+    def __init__(self, path: object, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)
+
+
 class StaleIndexError(DecompositionError):
     """A decomposition index was queried after its graph changed under it.
 

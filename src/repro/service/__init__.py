@@ -1,0 +1,71 @@
+"""A long-lived Triangle K-Core query service (pure stdlib).
+
+The package turns the offline library into a server process: load a
+graph once, keep one warm :class:`~repro.engine.Engine` plus a
+:class:`~repro.core.dynamic.DynamicTriangleKCore` maintainer as
+authoritative state, and answer kappa/community/hierarchy/template
+queries over HTTP/JSON while ingesting live edit batches.
+
+Layers (each usable on its own):
+
+* :mod:`repro.service.protocol` — wire schema, strict HTTP codec,
+  typed answer dataclasses;
+* :mod:`repro.service.state` — :class:`ServiceState`, the authoritative
+  state + derived-artifact caches + metrics (no networking);
+* :mod:`repro.service.handlers` — endpoint functions and routing;
+* :mod:`repro.service.server` — the asyncio server with backpressure
+  (bounded queue, token buckets, load shedding) and graceful drain;
+* :mod:`repro.service.client` — the typed blocking client.
+
+Start a server from the CLI (``triangle-kcore serve --dataset dblp``),
+or in-process::
+
+    from repro.service import BackgroundServer, ServiceClient
+
+    with BackgroundServer(graph) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        print(client.kappa(0, 1))
+
+See ``docs/SERVICE.md`` for the endpoint reference, the consistency
+model, and capacity planning guidance.
+"""
+
+from .client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloadError,
+)
+from .protocol import (
+    SERVICE_SCHEMA,
+    CommunityAnswer,
+    EditOutcome,
+    HealthInfo,
+    HierarchyAnswer,
+    KappaAnswer,
+    ProtocolError,
+    ServiceError,
+    TemplateAnswer,
+)
+from .server import BackgroundServer, ServiceServer, run_server
+from .state import ServiceMetrics, ServiceState, TokenBucket
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "BackgroundServer",
+    "CommunityAnswer",
+    "EditOutcome",
+    "HealthInfo",
+    "HierarchyAnswer",
+    "KappaAnswer",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadError",
+    "ServiceServer",
+    "ServiceState",
+    "TemplateAnswer",
+    "TokenBucket",
+    "run_server",
+]

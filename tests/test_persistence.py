@@ -76,6 +76,97 @@ class TestErrors:
             load_result(path)
 
 
+class TestPersistenceError:
+    """Corrupt artifacts raise the typed error, naming the offending path."""
+
+    def write(self, tmp_path, text, name="bogus.json"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_invalid_json_is_typed_not_raw(self, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        path = self.write(tmp_path, '{"format": "triangle-kcore-resu')
+        with pytest.raises(PersistenceError) as excinfo:
+            load_result(path)
+        # Never a raw json.JSONDecodeError, and the message names the file.
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.path == str(path)
+
+    def test_truncated_roundtrip_file(self, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        g = erdos_renyi(20, 0.3, seed=7)
+        path = tmp_path / "result.json"
+        save_result(triangle_kcore_decomposition(g), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError):
+            load_result(path)
+
+    def test_is_a_decomposition_error(self, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        assert issubclass(PersistenceError, DecompositionError)
+        path = self.write(tmp_path, "[]")  # valid JSON, wrong shape
+        with pytest.raises(DecompositionError):
+            load_result(path)
+
+    @pytest.mark.parametrize(
+        "edges_json",
+        [
+            '[[1, 2]]',  # wrong arity
+            '[["a", [1], 0]]',  # non-scalar vertex
+            '[[1, 2, -1]]',  # negative kappa
+            '[[1, 2, true]]',  # bool masquerading as kappa
+            '[[1, 2, "3"]]',  # string kappa
+            '[[5, 5, 0]]',  # self loop
+            '[[1, 2, 0], [2, 1, 0]]',  # duplicate (canonicalized)
+            '{"not": "a list"}',  # edges not a list
+        ],
+    )
+    def test_schema_violations(self, tmp_path, edges_json):
+        from repro.exceptions import PersistenceError
+
+        path = self.write(
+            tmp_path,
+            '{"format": "triangle-kcore-result", "version": 1, '
+            f'"edges": {edges_json}}}',
+        )
+        with pytest.raises(PersistenceError):
+            load_result(path)
+
+    def test_wrong_format_and_version_are_typed(self, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        with pytest.raises(PersistenceError):
+            load_result(self.write(tmp_path, '{"format": "nope"}'))
+        with pytest.raises(PersistenceError):
+            load_result(
+                self.write(
+                    tmp_path,
+                    '{"format": "triangle-kcore-result", "version": 99, '
+                    '"edges": []}',
+                )
+            )
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        # Absent files are a caller bug, not artifact corruption; the
+        # contract (and the CLI's error mapping) keeps FileNotFoundError.
+        with pytest.raises(FileNotFoundError):
+            load_result(tmp_path / "never-written.json")
+
+    def test_roundtrip_survives_load_after_corruption_check(self, tmp_path):
+        g = erdos_renyi(25, 0.3, seed=9)
+        result = triangle_kcore_decomposition(g)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.kappa == result.kappa
+        assert back.max_kappa == result.max_kappa
+
+
 class TestStaleness:
     def test_stale_maintainer_detected(self):
         from repro.core import DynamicTriangleKCore

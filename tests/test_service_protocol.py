@@ -1,0 +1,308 @@
+"""Unit tests for the service wire protocol, routing, and metrics plumbing."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.service import ProtocolError, ServiceError, TokenBucket
+from repro.service.handlers import route
+from repro.service.protocol import (
+    SERVICE_SCHEMA,
+    HttpRequest,
+    error_payload,
+    read_http_request,
+    render_http_response,
+)
+from repro.service.state import LatencyReservoir, ServiceMetrics
+
+
+def parse(raw: bytes):
+    """Run the asyncio request parser over a canned byte string."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_http_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestRequestParser:
+    def test_simple_get(self):
+        request = parse(b"GET /kappa?u=1&v=2 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/kappa"
+        assert request.param("u") == "1"
+        assert request.param("v") == "2"
+        assert request.param("absent") is None
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_post_with_body(self):
+        body = b'{"ops": []}'
+        raw = (
+            b"POST /edits HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json_body() == {"ops": []}
+
+    def test_percent_decoding(self):
+        request = parse(b"GET /kappa?u=Author%201&v=B HTTP/1.1\r\n\r\n")
+        assert request.param("u") == "Author 1"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"NONSENSE\r\n\r\n",  # not 3 request-line parts
+            b"GET /x SPDY/3\r\n\r\n",  # unsupported protocol
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: potato\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ],
+    )
+    def test_malformed_framing_rejected(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status in (400, 413, 431)
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_oversized_body_rejected(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_bad_json_body_is_service_error(self):
+        request = parse(
+            b"POST /edits HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            request.json_body()
+        assert excinfo.value.status == 400
+
+    def test_connection_close_flag(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.wants_close
+
+
+class TestResponseRenderer:
+    def test_roundtrip(self):
+        raw = render_http_response(200, {"a": 1, "version": 7})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"a": 1, "version": 7}
+
+    def test_retry_after_header(self):
+        raw = render_http_response(
+            429, error_payload("rate_limited", "slow down"), retry_after=2.4
+        )
+        # Rounded up: the integer hint must never under-promise the wait.
+        assert b"Retry-After: 3" in raw
+        raw = render_http_response(
+            503, error_payload("overloaded", "full"), retry_after=0.4
+        )
+        assert b"Retry-After: 1" in raw
+
+    def test_close_header(self):
+        raw = render_http_response(503, {}, keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_error_payload_shape(self):
+        payload = error_payload("not_found", "nope", version=3)
+        assert payload["schema"] == SERVICE_SCHEMA
+        assert payload["error"] == {"code": "not_found", "message": "nope"}
+        assert payload["version"] == 3
+
+
+def _request(method="GET", path="/kappa", query=None, body=b""):
+    return HttpRequest(
+        method=method,
+        path=path,
+        query=query or {},
+        headers={},
+        body=body,
+        target=path,
+    )
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "method,path,endpoint",
+        [
+            ("GET", "/healthz", "healthz"),
+            ("GET", "/kappa", "kappa"),
+            ("GET", "/community", "community"),
+            ("GET", "/hierarchy", "hierarchy"),
+            ("GET", "/stats", "stats"),
+            ("GET", "/templates/new_form", "templates"),
+            ("POST", "/edits", "edits"),
+        ],
+    )
+    def test_known_routes(self, method, path, endpoint):
+        name, handler = route(_request(method=method, path=path))
+        assert name == endpoint
+        assert callable(handler)
+
+    def test_unknown_path_404(self):
+        with pytest.raises(ServiceError) as excinfo:
+            route(_request(path="/nope"))
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_405(self):
+        with pytest.raises(ServiceError) as excinfo:
+            route(_request(method="POST", path="/kappa"))
+        assert excinfo.value.status == 405
+        with pytest.raises(ServiceError) as excinfo:
+            route(_request(method="GET", path="/edits"))
+        assert excinfo.value.status == 405
+
+    def test_nested_template_path_404(self):
+        request = _request(path="/templates/a/b")
+        _name, handler = route(request)
+        # route() accepts the prefix; the handler rejects the nested name.
+        with pytest.raises(ServiceError) as excinfo:
+            handler(None, request, None)
+        assert excinfo.value.status == 404
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=0.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        # 1 second at 2 tokens/s refills 2 tokens.
+        assert bucket.allow(1.0)
+        assert bucket.allow(1.0)
+        assert not bucket.allow(1.0)
+
+    def test_retry_after_estimate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.allow(0.0)
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_clock_never_goes_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=10.0)
+        assert bucket.allow(10.0)
+        assert not bucket.allow(5.0)  # stale clock: no refill, no crash
+
+
+class TestLatencyReservoir:
+    def test_percentiles_exact_on_small_sets(self):
+        reservoir = LatencyReservoir(capacity=100)
+        for ms in range(1, 101):
+            reservoir.record(ms / 1000.0)
+        assert reservoir.summary()["count"] == 100
+        assert reservoir.percentile_ms(0.50) == pytest.approx(51.0)
+        assert reservoir.percentile_ms(0.99) == pytest.approx(100.0)
+
+    def test_bounded_memory(self):
+        reservoir = LatencyReservoir(capacity=10)
+        for _ in range(1000):
+            reservoir.record(0.001)
+        assert len(reservoir._samples) == 10
+        assert reservoir.summary()["count"] == 1000
+
+    def test_empty_summary(self):
+        summary = LatencyReservoir().summary()
+        assert summary == {
+            "count": 0,
+            "mean_ms": 0.0,
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+        }
+
+
+class TestServiceMetrics:
+    def test_stats_section_shape(self):
+        metrics = ServiceMetrics()
+        metrics.note_queued()
+        metrics.note_dequeued()
+        metrics.note_request("kappa", 0.004, error=False)
+        metrics.note_request("kappa", 0.006, error=True)
+        metrics.note_rejected("overloaded")
+        section = metrics.as_dict()
+        assert section["schema"] == SERVICE_SCHEMA
+        assert section["total_requests"] == 2
+        assert section["requests"]["kappa"]["count"] == 2
+        assert section["requests"]["kappa"]["errors"] == 1
+        assert section["requests"]["kappa"]["p99_ms"] >= 4.0
+        assert section["rejected"]["overloaded"] == 1
+        assert section["queue"]["peak"] == 1
+        assert section["queue"]["depth"] == 0
+
+    def test_unknown_endpoint_folds_into_other(self):
+        metrics = ServiceMetrics()
+        metrics.note_request("does-not-exist", 0.001, error=False)
+        assert metrics.as_dict()["requests"]["other"]["count"] == 1
+
+
+class TestRawSocket:
+    """Strict-parser behaviour through a real listening server."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.graph import complete_graph
+        from repro.service import BackgroundServer
+
+        with BackgroundServer(complete_graph(5)) as background:
+            yield background
+
+    def _exchange(self, server, raw: bytes) -> bytes:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(raw)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    def test_garbage_request_line(self, server):
+        response = self._exchange(server, b"\x00\x01\x02 garbage\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_http10_is_accepted(self, server):
+        response = self._exchange(server, b"GET /healthz HTTP/1.0\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 200")
+
+    def test_unsupported_method_on_known_path(self, server):
+        response = self._exchange(
+            server, b"DELETE /kappa HTTP/1.1\r\n\r\n"
+        )
+        assert response.startswith(b"HTTP/1.1 405")
+
+    def test_keep_alive_two_requests_one_connection(self, server):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        response = self._exchange(server, raw)
+        assert response.count(b"HTTP/1.1 200") == 2
+
+    def test_huge_declared_body_rejected(self, server):
+        response = self._exchange(
+            server,
+            b"POST /edits HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 413")

@@ -84,6 +84,62 @@ class TestQueries:
         assert not monitor.alert_when(3)
 
 
+class TestEdgeCases:
+    def test_advance_to_out_of_order_rejected_and_state_intact(self):
+        monitor = SlidingWindowDensity(window=10)
+        monitor.observe(0, 1, 5)
+        with pytest.raises(ReproError):
+            monitor.advance_to(2)
+        # The failed advance must not have expired or corrupted anything.
+        assert monitor.num_edges == 1
+        assert monitor.now == 5
+        monitor.advance_to(5)  # equal timestamps are fine (not "backwards")
+        assert monitor.num_edges == 1
+
+    def test_advance_to_exact_horizon_boundary(self):
+        monitor = SlidingWindowDensity(window=10)
+        monitor.observe(0, 1, 0)
+        # horizon = t - window; an edge stamped exactly at the horizon
+        # has age == window and is expired (strict "last window units").
+        assert monitor.advance_to(10) == 1
+        assert monitor.num_edges == 0
+
+    def test_alert_when_crosses_both_directions(self):
+        monitor = SlidingWindowDensity(window=10)
+        assert not monitor.alert_when(1)  # empty window: below threshold
+        monitor.observe(0, 1, 0)
+        monitor.observe(1, 2, 1)
+        monitor.observe(0, 2, 2)
+        assert monitor.alert_when(1)  # upward crossing: triangle formed
+        monitor.advance_to(11)  # edges at t=0,1 expire; triangle breaks
+        assert not monitor.alert_when(1)  # downward crossing
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            monitor.observe(u, v, 12)
+        assert monitor.alert_when(1)  # upward crossing again
+
+    def test_alert_threshold_zero_always_true(self):
+        monitor = SlidingWindowDensity(window=5)
+        assert monitor.alert_when(0)  # max_kappa of empty state is 0
+
+    def test_densest_community_triangle_free_window(self):
+        monitor = SlidingWindowDensity(window=100)
+        # A path graph: plenty of edges, zero triangles.
+        for t, (u, v) in enumerate([(0, 1), (1, 2), (2, 3), (3, 4)]):
+            monitor.observe(u, v, t)
+        assert monitor.max_kappa == 0
+        assert monitor.densest_community() == (0, set())
+
+    def test_densest_community_after_expiry_back_to_triangle_free(self):
+        monitor = SlidingWindowDensity(window=10)
+        monitor.observe(0, 1, 0)
+        monitor.observe(1, 2, 1)
+        monitor.observe(0, 2, 2)
+        assert monitor.densest_community()[0] == 1
+        monitor.advance_to(50)
+        assert monitor.densest_community() == (0, set())
+        assert monitor.num_edges == 0
+
+
 class TestEquivalenceWithStatic:
     @pytest.mark.parametrize("store_triangles", [False, True])
     def test_window_state_matches_fresh_decomposition(self, store_triangles):
