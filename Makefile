@@ -6,6 +6,7 @@
 #   make bench      regenerate every paper table & figure
 #   make bench-engine  engine dispatch/cache/dynamic-timeline gates
 #   make bench-parallel  parallel backend vs csr speedup gate
+#   make bench-batch   batched maintenance vs per-op speedup gate
 #   make bench-service  query-service closed-loop load generator
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
@@ -17,7 +18,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine bench-parallel bench-service figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel bench-batch bench-service figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +34,9 @@ bench-engine:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_backend.py
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch_update.py
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py

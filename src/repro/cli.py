@@ -446,6 +446,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .testing import (
         PROFILES,
         ReproBundle,
+        batch_boundary_bug_sut,
         fuzz,
         perturbed_sut_factory,
         replay,
@@ -457,10 +458,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"replaying bundle: {len(bundle.script)} ops, "
             f"profile={bundle.profile or '?'}, seed={bundle.seed}"
         )
+        if bundle.apply_mode != "per_op":
+            print(
+                f"batch mode: chunks of {bundle.batch_ops} ops via "
+                f"diff_apply(strategy={bundle.batch_strategy!r})"
+            )
         factory = (
             perturbed_sut_factory(args.perturb_level)
             if args.perturb_level is not None
-            else None
+            else (batch_boundary_bug_sut if args.batch_bug else None)
         )
         report = replay(bundle, **({"sut_factory": factory} if factory else {}))
         if report.ok:
@@ -477,6 +483,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     profiles = sorted(PROFILES) if args.profile == "all" else [args.profile]
     extra_kwargs = {}
+    if args.strategy != "per_op":
+        extra_kwargs["apply_mode"] = "batch"
+        extra_kwargs["batch_ops"] = args.batch_ops
+        extra_kwargs["batch_strategy"] = args.strategy
+        print(
+            f"batch mode: chunks of {args.batch_ops} ops applied via "
+            f"diff_apply(strategy={args.strategy!r})"
+        )
+    if args.perturb_level is not None and args.batch_bug:
+        print("--perturb-level and --batch-bug are mutually exclusive")
+        return 2
     if args.perturb_level is not None:
         extra_kwargs["sut_factory"] = perturbed_sut_factory(
             args.perturb_level
@@ -484,6 +501,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"self-test: injecting off-by-one kappa bug at level "
             f"{args.perturb_level}"
+        )
+    if args.batch_bug:
+        extra_kwargs["sut_factory"] = batch_boundary_bug_sut
+        print(
+            "self-test: injecting batch boundary-drop bug "
+            "(_trim_batch_region skips one affected-region edge)"
         )
     if args.backend == "parallel":
         from .testing import DEFAULT_ORACLES
@@ -550,7 +573,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     engine = _make_engine(args)
     graph = _load_graph(args.graph)
-    state = ServiceState(graph, backend=args.backend, engine=engine)
+    state = ServiceState(
+        graph,
+        backend=args.backend,
+        engine=engine,
+        edit_strategy=args.edit_strategy,
+    )
 
     def announce(server: ServiceServer) -> None:
         # The port is printed (flush=True) so wrappers binding port 0 can
@@ -764,11 +792,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a repro bundle instead of generating workloads",
     )
     p.add_argument(
+        "--strategy",
+        choices=("per_op", "batch", "incremental", "recompute", "auto"),
+        default="per_op",
+        help="how the maintainer is driven: per_op (default) feeds one op "
+        "at a time with per-op invariants; any other value coalesces "
+        "chunks of --batch-ops ops and applies them through "
+        "diff_apply with that strategy",
+    )
+    p.add_argument(
+        "--batch-ops",
+        type=int,
+        default=50,
+        dest="batch_ops",
+        metavar="N",
+        help="chunk size for non-per_op strategies (default: 50)",
+    )
+    p.add_argument(
         "--perturb-level",
         type=int,
         dest="perturb_level",
         help="self-test: inject an off-by-one kappa bug at this level and "
         "verify the harness catches it",
+    )
+    p.add_argument(
+        "--batch-bug",
+        action="store_true",
+        dest="batch_bug",
+        help="self-test: inject a batch affected-region boundary-drop bug "
+        "and verify the harness catches it (use with --strategy batch)",
     )
     p.add_argument(
         "--backend",
@@ -831,6 +883,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue depth at which derived reads (community/hierarchy/"
         "templates) may serve the last cached answer, marked degraded "
         "(default: never degrade)",
+    )
+    p.add_argument(
+        "--edit-strategy",
+        choices=("auto", "incremental", "batch", "recompute"),
+        default="auto",
+        dest="edit_strategy",
+        help="default kappa-repair strategy for POST /edits batches "
+        "(per-request 'strategy' field overrides; default: auto)",
     )
     _add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve)

@@ -165,7 +165,8 @@ class Engine:
     dynamic_strategy:
         Update strategy the ``"dynamic"`` backend hands to
         :meth:`~repro.core.dynamic.DynamicTriangleKCore.apply`:
-        ``"incremental"``, ``"recompute"``, or ``"auto"`` (default —
+        ``"incremental"``, ``"batch"`` (one affected-region pass for the
+        whole edit batch), ``"recompute"``, or ``"auto"`` (default —
         incremental below the measured churn crossover, one recompute
         above it).
     workers:
@@ -201,9 +202,10 @@ class Engine:
             raise ValueError(
                 f"max_cached_graphs must be >= 0, got {max_cached_graphs}"
             )
-        if dynamic_strategy not in ("incremental", "recompute", "auto"):
+        if dynamic_strategy not in ("incremental", "recompute", "auto",
+                                    "batch"):
             raise ValueError(
-                "dynamic_strategy must be incremental/recompute/auto, "
+                "dynamic_strategy must be incremental/recompute/auto/batch, "
                 f"got {dynamic_strategy!r}"
             )
         if workers is not None and workers < 1:
@@ -517,6 +519,12 @@ class Engine:
                 )
                 self.stats.bump("dynamic_edges_changed", update.edges_changed)
                 self.stats.bump("dynamic_levels_touched", update.levels_touched)
+                if update.strategy == "batch":
+                    self.stats.record_batch(
+                        update.region_edges,
+                        update.settle_iterations,
+                        update.bound_prune_hits,
+                    )
         with self.stats.stage("dynamic.snapshot"):
             return maintainer.result()
 
@@ -654,7 +662,7 @@ class Engine:
 
         ``provider()`` is called on every ``stats_dict()`` and its return
         value is embedded under ``payload[name]``.  Sections are additive
-        on top of the ``repro.engine.stats/2`` schema (every /2 key is
+        on top of the ``repro.engine.stats/3`` schema (every /2 key is
         untouched); a long-lived consumer — the service layer — uses this
         to publish its own telemetry through the one ``--stats`` pipe.
         Reserved schema keys cannot be shadowed.
@@ -664,6 +672,7 @@ class Engine:
             "counters",
             "backend_calls",
             "stage_seconds",
+            "batch",
             "parallel",
             "default_backend",
             "cached_graphs",

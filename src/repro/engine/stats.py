@@ -11,7 +11,7 @@ saved a recompute.
 The structured schema (``as_dict``)::
 
     {
-      "schema": "repro.engine.stats/2",
+      "schema": "repro.engine.stats/3",
       "counters":      {"decompositions": ..., "cache_hits": ...,
                         "triangles_enumerated": ..., "edges_peeled": ...,
                         "bucket_decrements": ..., "dynamic_updates": ...},
@@ -20,11 +20,14 @@ The structured schema (``as_dict``)::
       "stage_seconds": {"decompose.reference": ..., "dynamic.diff": ...},
       "parallel":      {"decompositions": ..., "workers": ...,
                         "shards": ..., "shard_seconds": [...]},
+      "batch":         {"applies": ..., "region_edges": ...,
+                        "settle_iterations": ..., "bound_prune_hits": ...},
     }
 
-Schema history: ``/1`` lacked the ``"parallel"`` section; every ``/1``
-key is present unchanged in ``/2``, so readers of the old schema keep
-working (the compatibility test pins this).
+Schema history: ``/1`` lacked the ``"parallel"`` section, ``/2`` lacked
+the ``"batch"`` section; every key of each older schema is present
+unchanged in the next, so readers of the old schemas keep working (the
+compatibility test pins this).
 
 Counter values are exact, not sampled: the static counters are derived
 from state Algorithm 1 computes anyway (see the ``counters`` hook on
@@ -40,13 +43,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence
 
 #: Version tag for the structured stats payload; bump on schema changes.
-STATS_SCHEMA = "repro.engine.stats/2"
+STATS_SCHEMA = "repro.engine.stats/3"
 
 
 class EngineStats:
     """Mutable instrumentation accumulator for one engine."""
 
-    __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel")
+    __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel",
+                 "batch")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
@@ -57,6 +61,11 @@ class EngineStats:
         #: per-shard wall times of the most recent run (the engine's
         #: coarse analogue of ParallelInfo — see repro.fast.parallel).
         self.parallel: Dict[str, object] = {}
+        #: Aggregate view of every batch-strategy dynamic update: apply
+        #: count plus cumulative affected-region size, settle worklist
+        #: iterations and bound-prune hits (see UpdateStats in
+        #: repro.core.dynamic).
+        self.batch: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -106,6 +115,24 @@ class EngineStats:
         )
         self.parallel["shard_seconds"] = shard_list
 
+    def record_batch(
+        self,
+        region_edges: int,
+        settle_iterations: int,
+        bound_prune_hits: int,
+    ) -> None:
+        """Record one ``strategy="batch"`` dynamic update (all cumulative)."""
+        self.batch["applies"] = self.batch.get("applies", 0) + 1
+        self.batch["region_edges"] = (
+            self.batch.get("region_edges", 0) + int(region_edges)
+        )
+        self.batch["settle_iterations"] = (
+            self.batch.get("settle_iterations", 0) + int(settle_iterations)
+        )
+        self.batch["bound_prune_hits"] = (
+            self.batch.get("bound_prune_hits", 0) + int(bound_prune_hits)
+        )
+
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
@@ -129,6 +156,7 @@ class EngineStats:
                 for stage, seconds in sorted(self.stage_seconds.items())
             },
             "parallel": dict(self.parallel),
+            "batch": dict(sorted(self.batch.items())),
         }
 
     def reset(self) -> None:
@@ -137,6 +165,7 @@ class EngineStats:
         self.backend_calls.clear()
         self.stage_seconds.clear()
         self.parallel.clear()
+        self.batch.clear()
 
     def __repr__(self) -> str:
         return (

@@ -265,7 +265,12 @@ class ServiceClient:
     def edits(
         self, edits: EditsLike, *, strategy: Optional[str] = None
     ) -> EditOutcome:
-        """POST one edit batch; returns what it did to the served state."""
+        """POST one edit batch; returns what it did to the served state.
+
+        ``strategy`` overrides the server's default repair strategy for
+        this batch: ``"incremental"``, ``"batch"`` (one affected-region
+        pass for the whole script), ``"recompute"``, or ``"auto"``.
+        """
         body = _as_script(edits).to_json_obj()
         if strategy is not None:
             body["strategy"] = strategy

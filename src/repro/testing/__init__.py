@@ -32,9 +32,12 @@ from __future__ import annotations
 from .bundle import FORMAT, ReproBundle, regression_bundle, replay
 from .editscript import (
     OP_KINDS,
+    CoalescedScript,
     EditOp,
     EditScript,
+    apply_coalesced,
     apply_op,
+    coalesce,
     expected_outcome,
     kappa_from_json,
     kappa_to_json,
@@ -43,8 +46,10 @@ from .fuzz import FuzzResult, ProfileOutcome, fuzz
 from .oracles import (
     DEFAULT_ORACLES,
     ORACLE_NAMES,
+    BatchBoundaryBugMaintainer,
     CheckpointOracles,
     OffByOneMaintainer,
+    batch_boundary_bug_sut,
     default_sut,
     networkx_available,
     perturbed_sut_factory,
@@ -55,7 +60,9 @@ from .shrink import ShrinkResult, shrink_script
 from .workloads import PROFILES, generate
 
 __all__ = [
+    "BatchBoundaryBugMaintainer",
     "CheckpointOracles",
+    "CoalescedScript",
     "DEFAULT_ORACLES",
     "Divergence",
     "EditOp",
@@ -70,7 +77,10 @@ __all__ = [
     "ReproBundle",
     "RunReport",
     "ShrinkResult",
+    "apply_coalesced",
     "apply_op",
+    "batch_boundary_bug_sut",
+    "coalesce",
     "default_sut",
     "expected_outcome",
     "fuzz",

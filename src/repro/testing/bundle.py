@@ -44,6 +44,12 @@ class ReproBundle:
     expected_kappa: Optional[List[list]] = None  #: [[u, v, kappa], ...]
     description: str = ""
     shrunk: bool = False
+    #: Runner apply mode the divergence was found under ("per_op" or
+    #: "batch"); batch-mode bundles must replay in batch mode or a
+    #: batch-only bug silently replays clean.
+    apply_mode: str = "per_op"
+    batch_ops: int = 50
+    batch_strategy: str = "batch"
     format_version: str = FORMAT
 
     # -------------------------------------------------------------- #
@@ -62,6 +68,12 @@ class ReproBundle:
             "description": self.description,
             "script": self.script.to_json_obj(),
         }
+        if self.apply_mode != "per_op":
+            # Additive, omitted for per-op bundles: old readers of the
+            # /1 format never see the new keys.
+            obj["apply_mode"] = self.apply_mode
+            obj["batch_ops"] = self.batch_ops
+            obj["batch_strategy"] = self.batch_strategy
         if self.divergence is not None:
             obj["divergence"] = self.divergence.to_json_obj()
         if self.expected_kappa is not None:
@@ -91,6 +103,9 @@ class ReproBundle:
             expected_kappa=obj.get("expected_kappa"),
             description=obj.get("description", ""),
             shrunk=obj.get("shrunk", False),
+            apply_mode=obj.get("apply_mode", "per_op"),
+            batch_ops=obj.get("batch_ops", 50),
+            batch_strategy=obj.get("batch_strategy", "batch"),
             format_version=version,
         )
 
@@ -138,6 +153,9 @@ def replay(
         checkpoint_every=checkpoint_every or bundle.checkpoint_every,
         oracles=oracles if oracles is not None else bundle.oracles,
         sut_factory=sut_factory,
+        apply_mode=bundle.apply_mode,
+        batch_ops=bundle.batch_ops,
+        batch_strategy=bundle.batch_strategy,
     )
     if (
         report.ok

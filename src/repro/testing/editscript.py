@@ -212,6 +212,187 @@ class EditScript:
         return f"EditScript({len(self.ops)} ops{label})"
 
 
+@dataclass
+class CoalescedScript:
+    """The net structural effect of an :class:`EditScript` on a graph.
+
+    Produced by :func:`coalesce`: the ops collapse to one batch of net
+    edge removals and insertions (plus isolated-vertex adds/removals),
+    exactly what :meth:`DynamicTriangleKCore.diff_apply
+    <repro.core.dynamic.DynamicTriangleKCore.diff_apply>` consumes for
+    ``strategy="batch"``.  ``remove_vertex`` ops are expanded into their
+    incident edge removals; add-then-remove (or remove-then-re-add) of
+    the same edge cancels out.  Because kappa is a pure function of the
+    graph, applying the net batch yields bit-identical kappa to applying
+    the ops one at a time.
+    """
+
+    added: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+    removed: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+    #: Vertices absent before that must exist after (isolated adds).
+    added_vertices: List[Vertex] = field(default_factory=list)
+    #: Vertices present before that must be gone after (edge removals
+    #: above already cover their incident edges).
+    removed_vertices: List[Vertex] = field(default_factory=list)
+    #: Outcome tag -> count over the script's ops (total semantics).
+    outcomes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def applied(self) -> int:
+        """Ops that mutate state (``ok``) or are idempotent (``noop``)."""
+        return self.outcomes.get(OUTCOME_OK, 0) + self.outcomes.get(
+            OUTCOME_NOOP, 0
+        )
+
+    @property
+    def rejected(self) -> Dict[str, int]:
+        """Adversarial-outcome counts (everything but ok/noop)."""
+        return {
+            tag: count
+            for tag, count in self.outcomes.items()
+            if tag not in (OUTCOME_OK, OUTCOME_NOOP)
+        }
+
+
+def coalesce(graph: Graph, script: EditScript) -> CoalescedScript:
+    """Collapse ``script`` to its net effect on ``graph`` without copying it.
+
+    The graph is *not* mutated: the simulation runs on a lazy adjacency
+    overlay, touching only the vertices the script names — O(ops +
+    touched degree), independent of the graph size.  Net lists come out
+    in first-effective-touch order, so replay is deterministic.
+    """
+    # Overlay state: vertex presence deltas plus copied adjacency sets
+    # for touched vertices; everything else reads through to the graph.
+    vert_delta: Dict[Vertex, bool] = {}
+    adj: Dict[Vertex, set] = {}
+
+    def has_vertex(u: Vertex) -> bool:
+        present = vert_delta.get(u)
+        if present is not None:
+            return present
+        return graph.has_vertex(u)
+
+    def neighbors(u: Vertex) -> set:
+        over = adj.get(u)
+        if over is not None:
+            return over
+        if graph.has_vertex(u) and vert_delta.get(u, True):
+            return set(graph.neighbors(u))
+        return set()
+
+    def touch(u: Vertex) -> set:
+        over = adj.get(u)
+        if over is None:
+            over = neighbors(u)
+            adj[u] = over
+        return over
+
+    def has_edge(u: Vertex, v: Vertex) -> bool:
+        if u in adj:
+            return v in adj[u]
+        if v in adj:
+            return u in adj[v]
+        return graph.has_edge(u, v)
+
+    # Net bookkeeping, keyed by canonical edge, insertion-ordered.
+    net_added: Dict[Tuple[Vertex, Vertex], Tuple[Vertex, Vertex]] = {}
+    net_removed: Dict[Tuple[Vertex, Vertex], Tuple[Vertex, Vertex]] = {}
+    outcomes: Dict[str, int] = {}
+
+    def note_add(u: Vertex, v: Vertex) -> None:
+        edge = canonical_edge(u, v)
+        touch(u).add(v)
+        touch(v).add(u)
+        vert_delta[u] = True
+        vert_delta[v] = True
+        if edge in net_removed:
+            del net_removed[edge]  # originally present: cancel out
+        else:
+            net_added[edge] = (u, v)
+
+    def note_remove(u: Vertex, v: Vertex) -> None:
+        edge = canonical_edge(u, v)
+        touch(u).discard(v)
+        touch(v).discard(u)
+        if edge in net_added:
+            del net_added[edge]  # added by this script: cancel out
+        else:
+            net_removed[edge] = (u, v)
+
+    for op in script:
+        # Classify against the overlay with the same precedence as
+        # expected_outcome (self loop before duplicate, like Graph).
+        if op.kind == "add":
+            if op.u == op.v:
+                outcome = OUTCOME_SELF_LOOP
+            elif has_edge(op.u, op.v):
+                outcome = OUTCOME_DUPLICATE
+            else:
+                outcome = OUTCOME_OK
+                note_add(op.u, op.v)
+        elif op.kind == "remove":
+            if not has_edge(op.u, op.v):
+                outcome = OUTCOME_MISSING_EDGE
+            else:
+                outcome = OUTCOME_OK
+                note_remove(op.u, op.v)
+        elif op.kind == "add_vertex":
+            if has_vertex(op.u):
+                outcome = OUTCOME_NOOP
+            else:
+                outcome = OUTCOME_OK
+                vert_delta[op.u] = True
+                adj.setdefault(op.u, set())
+        else:  # remove_vertex
+            if not has_vertex(op.u):
+                outcome = OUTCOME_MISSING_VERTEX
+            else:
+                outcome = OUTCOME_OK
+                for neighbor in sorted(neighbors(op.u), key=repr):
+                    note_remove(op.u, neighbor)
+                vert_delta[op.u] = False
+                adj[op.u] = set()
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+    added_vertices = [
+        vertex
+        for vertex, present in vert_delta.items()
+        if present and not graph.has_vertex(vertex)
+    ]
+    removed_vertices = [
+        vertex
+        for vertex, present in vert_delta.items()
+        if not present and graph.has_vertex(vertex)
+    ]
+    return CoalescedScript(
+        added=list(net_added.values()),
+        removed=list(net_removed.values()),
+        added_vertices=added_vertices,
+        removed_vertices=removed_vertices,
+        outcomes=outcomes,
+    )
+
+
+def apply_coalesced(maintainer, co: CoalescedScript, *, strategy: str = "batch"):
+    """Apply a :class:`CoalescedScript` through a dynamic maintainer.
+
+    Isolated-vertex adds go first (edge insertions auto-create their own
+    endpoints), then the net edge batch through
+    ``maintainer.diff_apply(strategy=...)``, then now-isolated vertex
+    removals.  Returns the batch's
+    :class:`~repro.core.dynamic.KappaDelta`.
+    """
+    for vertex in co.added_vertices:
+        maintainer.add_vertex(vertex)
+    delta = maintainer.diff_apply(
+        added=co.added, removed=co.removed, strategy=strategy
+    )
+    for vertex in co.removed_vertices:
+        maintainer.remove_vertex(vertex)
+    return delta
+
+
 def kappa_to_json(kappa: Dict[Tuple[Vertex, Vertex], int]) -> List[list]:
     """``{edge: kappa}`` as a sorted, JSON-native ``[[u, v, k], ...]`` list."""
     return sorted(

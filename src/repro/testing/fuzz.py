@@ -62,12 +62,17 @@ def _script_fails(
     oracles: Tuple[str, ...],
     oracle_options: Optional[Dict[str, object]],
     sut_factory: SutFactory,
+    apply_mode: str,
+    batch_ops: int,
+    batch_strategy: str,
 ):
     """Build the shrinker predicate matching the runner configuration.
 
-    The shrinker replays candidates with a *tight* checkpoint cadence so a
-    divergence originally caught at a distant checkpoint is still caught
-    after the ops before that checkpoint are deleted.
+    The shrinker replays candidates with a *tight* cadence so a divergence
+    originally caught at a distant checkpoint is still caught after the
+    ops before that checkpoint are deleted: per-op mode tightens
+    ``checkpoint_every``, batch mode tightens the chunk size (checkpoints
+    sit at chunk boundaries there).
     """
 
     def fails(script: EditScript) -> bool:
@@ -77,6 +82,9 @@ def _script_fails(
             oracles=oracles,
             oracle_options=oracle_options,
             sut_factory=sut_factory,
+            apply_mode=apply_mode,
+            batch_ops=min(batch_ops, 5),
+            batch_strategy=batch_strategy,
         ).ok
 
     return fails
@@ -93,13 +101,19 @@ def fuzz(
     sut_factory: SutFactory = default_sut,
     shrink: bool = False,
     stop_on_failure: bool = True,
+    apply_mode: str = "per_op",
+    batch_ops: int = 50,
+    batch_strategy: str = "batch",
 ) -> FuzzResult:
     """Fuzz the dynamic maintainer across workload profiles.
 
     Parameters mirror the ``repro fuzz`` CLI flags; ``sut_factory`` is the
     extra hook the mutation smoke-check uses to inject a deliberately buggy
     maintainer, and ``oracle_options`` configures the oracle matrix (see
-    :func:`~repro.testing.runner.run_script`).  Returns a
+    :func:`~repro.testing.runner.run_script`).  ``apply_mode="batch"``
+    fuzzes the whole-batch write path instead: chunks of ``batch_ops``
+    ops are coalesced and applied via ``diff_apply(strategy=batch_strategy)``
+    (see :func:`~repro.testing.runner.run_script`).  Returns a
     :class:`FuzzResult`; on divergence each failing outcome carries a
     ready-to-save :class:`ReproBundle` (shrunk when ``shrink=True``).
     """
@@ -113,6 +127,9 @@ def fuzz(
             oracles=oracles,
             oracle_options=oracle_options,
             sut_factory=sut_factory,
+            apply_mode=apply_mode,
+            batch_ops=batch_ops,
+            batch_strategy=batch_strategy,
         )
         outcome = ProfileOutcome(profile=profile, seed=seed, report=report)
         if not report.ok:
@@ -122,7 +139,8 @@ def fuzz(
                 shrink_result = shrink_script(
                     script,
                     _script_fails(
-                        checkpoint_every, oracles, oracle_options, sut_factory
+                        checkpoint_every, oracles, oracle_options,
+                        sut_factory, apply_mode, batch_ops, batch_strategy,
                     ),
                 )
                 final_script = shrink_result.script
@@ -134,6 +152,9 @@ def fuzz(
                     oracles=oracles,
                     oracle_options=oracle_options,
                     sut_factory=sut_factory,
+                    apply_mode=apply_mode,
+                    batch_ops=min(batch_ops, 5),
+                    batch_strategy=batch_strategy,
                 )
                 divergence = report_for_bundle.divergence
             else:
@@ -146,6 +167,11 @@ def fuzz(
                 ops_requested=ops,
                 checkpoint_every=checkpoint_every,
                 oracles=oracles,
+                apply_mode=apply_mode,
+                # A shrunk script was minimized under the tightened chunk
+                # size; record that so the bundle replays identically.
+                batch_ops=min(batch_ops, 5) if shrink else batch_ops,
+                batch_strategy=batch_strategy,
                 divergence=divergence,
                 description=(
                     f"fuzz divergence: profile={profile} seed={seed} "

@@ -23,6 +23,14 @@ kappa map against every *checkpoint oracle* registered here:
     default it runs *in process* (same shard/merge code, no pool spawn)
     so fuzz loops and the shrinker stay fast; pass
     ``parallel_inprocess=False`` to exercise real worker processes.
+``per_op``
+    A second :class:`DynamicTriangleKCore` fed the net edge diff *one op
+    at a time* with incremental repairs.  Opt-in, aimed at the batch
+    maintainer mode: when the SUT applies whole edit batches with
+    ``strategy="batch"``, this oracle pits the single affected-region
+    pass against the per-op Algorithm 2 cascades at every checkpoint
+    (the recompute oracle completes the batch/per-op/recompute
+    differential cell).
 
 Fault injection lives here too: :class:`OffByOneMaintainer` wraps the real
 maintainer and misreports kappa by +1 on a chosen level.  The mutation
@@ -41,7 +49,7 @@ from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
 
 #: Checkpoint oracle names, in the order they are evaluated.
-ORACLE_NAMES = ("recompute", "csr", "networkx", "parallel")
+ORACLE_NAMES = ("recompute", "csr", "networkx", "parallel", "per_op")
 
 #: Default oracle selection ("networkx" degrades to a no-op if unavailable;
 #: "parallel" is opt-in — see the module docstring).
@@ -81,6 +89,7 @@ class CheckpointOracles:
         self._names = tuple(oracles)
         self._baseline: Optional[RecomputeBaseline] = None
         self._baseline_edges: set = set()
+        self._per_op: Optional[DynamicTriangleKCore] = None
         self._nx_usable = "networkx" in self._names and networkx_available()
         self._parallel_workers = parallel_workers
         self._parallel_inprocess = parallel_inprocess
@@ -123,6 +132,8 @@ class CheckpointOracles:
                     workers=self._parallel_workers,
                     inprocess=self._parallel_inprocess,
                 ).kappa
+            elif name == "per_op":
+                answers[name] = self._per_op_kappa(shadow)
         return answers
 
     def _recompute_kappa(self, shadow: Graph) -> Dict[Edge, int]:
@@ -136,6 +147,25 @@ class CheckpointOracles:
                                    removed=sorted(removed, key=repr))
         self._baseline_edges = current
         return run.result.kappa
+
+    def _per_op_kappa(self, shadow: Graph) -> Dict[Edge, int]:
+        """Catch the stateful per-op maintainer up to the shadow graph.
+
+        Kappa is a pure function of the graph, so feeding the *net* diff
+        one op at a time is equivalent to replaying the original op
+        sequence — and exercises the per-op Algorithm 2 cascades the
+        batch strategy must stay bit-identical to.
+        """
+        if self._per_op is None:
+            self._per_op = DynamicTriangleKCore(Graph(), copy=False)
+        maintainer = self._per_op
+        previous = set(maintainer.graph.edges())
+        current = set(shadow.edges())
+        for u, v in sorted(previous - current, key=repr):
+            maintainer.remove_edge(u, v)
+        for u, v in sorted(current - previous, key=repr):
+            maintainer.add_edge(u, v)
+        return dict(maintainer.kappa)
 
 
 # ---------------------------------------------------------------------- #
@@ -191,3 +221,31 @@ def perturbed_sut_factory(level: int) -> SutFactory:
         return OffByOneMaintainer(graph, level=level, copy=False)
 
     return factory
+
+
+class BatchBoundaryBugMaintainer(DynamicTriangleKCore):
+    """A deliberately buggy batch maintainer: drops one affected-region edge.
+
+    Overrides the :meth:`_trim_batch_region` seam to silently discard one
+    boundary edge (the repr-max non-inserted member) from the affected
+    region before the localized settle — the canonical batch-maintenance
+    bug class: an under-approximated region leaves a stale kappa behind
+    exactly when that edge needed a promote/demote cascade.  Inserted
+    edges are never dropped (they have no kappa yet, so dropping one
+    would crash rather than silently corrupt).
+
+    The batch mutation smoke-check proves the fuzzer's batch mode catches
+    and shrinks this.
+    """
+
+    def _trim_batch_region(self, region, inserted):
+        droppable = sorted(region - inserted, key=repr)
+        if droppable:
+            region = set(region)
+            region.discard(droppable[-1])
+        return region
+
+
+def batch_boundary_bug_sut(graph: Graph) -> DynamicTriangleKCore:
+    """Factory for :class:`BatchBoundaryBugMaintainer`."""
+    return BatchBoundaryBugMaintainer(graph, copy=False)

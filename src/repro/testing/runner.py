@@ -46,7 +46,9 @@ from .editscript import (
     OUTCOME_SELF_LOOP,
     EditOp,
     EditScript,
+    apply_coalesced,
     apply_op,
+    coalesce,
     expected_outcome,
 )
 from .oracles import DEFAULT_ORACLES, CheckpointOracles, SutFactory, default_sut
@@ -200,6 +202,9 @@ def run_script(
     oracle_options: Optional[Dict[str, object]] = None,
     sut_factory: SutFactory = default_sut,
     check_invariants: bool = True,
+    apply_mode: str = "per_op",
+    batch_ops: int = 50,
+    batch_strategy: str = "batch",
 ) -> RunReport:
     """Play ``script`` from an empty graph, cross-checking as documented.
 
@@ -207,11 +212,30 @@ def run_script(
     :class:`CheckpointOracles` (e.g. ``parallel_workers`` /
     ``parallel_inprocess`` for the opt-in ``"parallel"`` oracle).
 
+    ``apply_mode="batch"`` drives the maintainer in whole-batch mode
+    instead: the script is cut into chunks of ``batch_ops`` ops, each
+    chunk is :func:`~repro.testing.editscript.coalesce`-d against the
+    shadow graph and applied through ``diff_apply(strategy=batch_strategy)``.
+    Intermediate per-op states never exist in this mode, so the per-op
+    error contract and Rule 0 unit invariants are replaced by their batch
+    analogues: the coalescer's outcome classification must match per-op
+    ``expected_outcome`` tallies, the net apply must not raise, and the
+    kappa key set must track the shadow edge set.  Checkpoints (structural
+    + full oracle matrix) run at every chunk boundary — the densest
+    granularity at which the batch SUT has a well-defined state — so
+    ``checkpoint_every`` is ignored.
+
     Returns a :class:`RunReport`; ``report.ok`` is False exactly when a
     divergence was found (the run stops at the first one).
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if apply_mode not in ("per_op", "batch"):
+        raise ValueError(
+            f"unknown apply_mode {apply_mode!r}; expected 'per_op' or 'batch'"
+        )
+    if batch_ops < 1:
+        raise ValueError("batch_ops must be >= 1")
     matrix = CheckpointOracles(oracles, **(oracle_options or {}))
     shadow = Graph()
     sut = sut_factory(Graph())
@@ -245,6 +269,92 @@ def run_script(
                     diff=_kappa_diff(expected, actual),
                 )
         return None
+
+    if apply_mode == "batch":
+        steps = 0
+        for start in range(0, len(script), batch_ops):
+            chunk = list(script)[start:start + batch_ops]
+            last = start + len(chunk) - 1
+            co = coalesce(shadow, EditScript(ops=chunk))
+            expected_counts: Dict[str, int] = {}
+            for op in chunk:
+                tag = apply_op(shadow, op)
+                expected_counts[tag] = expected_counts.get(tag, 0) + 1
+            if check_invariants and co.outcomes != expected_counts:
+                return RunReport(
+                    steps=steps,
+                    checkpoints=checkpoints,
+                    oracles=matrix.active_names(),
+                    divergence=Divergence(
+                        step=last,
+                        kind="error_contract",
+                        message=(
+                            "coalesced outcome counts disagree with per-op "
+                            f"classification: {co.outcomes!r} vs "
+                            f"{expected_counts!r}"
+                        ),
+                    ),
+                )
+            try:
+                apply_coalesced(sut, co, strategy=batch_strategy)
+            except Exception as error:  # surfaced, not masked: batch net
+                # diffs are pre-validated, so any raise is a divergence.
+                return RunReport(
+                    steps=steps,
+                    checkpoints=checkpoints,
+                    oracles=matrix.active_names(),
+                    divergence=Divergence(
+                        step=last,
+                        kind="error_contract",
+                        message=(
+                            f"batch apply of {len(co.added)} adds / "
+                            f"{len(co.removed)} removes raised "
+                            f"{type(error).__name__}: {error}"
+                        ),
+                    ),
+                )
+            steps += len(chunk)
+            if check_invariants and set(sut.kappa) != set(shadow.edges()):
+                missing = set(shadow.edges()) - set(sut.kappa)
+                extra = set(sut.kappa) - set(shadow.edges())
+                return RunReport(
+                    steps=steps,
+                    checkpoints=checkpoints,
+                    oracles=matrix.active_names(),
+                    divergence=Divergence(
+                        step=last,
+                        kind="invariant",
+                        message=(
+                            "kappa key set does not match the graph's edges "
+                            f"after batch apply (missing "
+                            f"{sorted(missing, key=repr)[:5]}, "
+                            f"extra {sorted(extra, key=repr)[:5]})"
+                        ),
+                    ),
+                )
+            found = checkpoint(last, None)
+            if found is not None:
+                return RunReport(
+                    steps=steps,
+                    checkpoints=checkpoints,
+                    oracles=matrix.active_names(),
+                    divergence=found,
+                )
+        if len(script) == 0:
+            found = checkpoint(0, None)
+            if found is not None:
+                return RunReport(
+                    steps=0,
+                    checkpoints=checkpoints,
+                    oracles=matrix.active_names(),
+                    divergence=found,
+                )
+        return RunReport(
+            steps=len(script),
+            checkpoints=checkpoints,
+            oracles=matrix.active_names(),
+            final_kappa=dict(sut.kappa),
+        )
 
     for step, op in enumerate(script):
         outcome = expected_outcome(shadow, op)

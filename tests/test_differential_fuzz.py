@@ -29,7 +29,10 @@ from repro.testing import (
     ORACLE_NAMES,
     PROFILES,
     ReproBundle,
+    apply_coalesced,
     apply_op,
+    batch_boundary_bug_sut,
+    coalesce,
     expected_outcome,
     fuzz,
     generate,
@@ -125,6 +128,78 @@ class TestWorkloads:
             generate("nope", 0, 10)
 
 
+class TestCoalesce:
+    """coalesce(): net structural effect of a script, per-op classification."""
+
+    def test_add_then_remove_same_edge_cancels(self):
+        from repro.graph import Graph
+
+        graph = Graph(edges=[(0, 1)])
+        script = EditScript(
+            ops=[EditOp("add", 1, 2), EditOp("remove", 2, 1)]
+        )
+        co = coalesce(graph, script)
+        assert co.added == [] and co.removed == []
+        # Both ops were fine per-op; the *net* effect is empty.
+        assert co.outcomes == {"ok": 2}
+
+    def test_remove_then_readd_cancels(self):
+        from repro.graph import Graph
+
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        co = coalesce(
+            graph,
+            EditScript(ops=[EditOp("remove", 0, 1), EditOp("add", 0, 1)]),
+        )
+        assert co.added == [] and co.removed == []
+        assert co.outcomes == {"ok": 2}
+
+    def test_remove_vertex_expands_to_incident_edges(self):
+        from repro.graph import Graph
+
+        graph = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        co = coalesce(graph, EditScript(ops=[EditOp("remove_vertex", 0)]))
+        assert sorted(co.removed) == [(0, 1), (0, 2)]
+        assert co.removed_vertices == [0]
+        assert co.outcomes == {"ok": 1}
+
+    def test_outcome_counts_match_per_op_classification(self):
+        from repro.graph import Graph
+
+        for profile in ("adversarial", "grow_shrink"):
+            script = generate(profile, seed=3, n_ops=200)
+            co = coalesce(Graph(), script)
+            shadow = Graph()
+            expected: dict = {}
+            for op in script:
+                tag = apply_op(shadow, op)
+                expected[tag] = expected.get(tag, 0) + 1
+            assert co.outcomes == expected, profile
+
+    def test_empty_script(self):
+        from repro.graph import Graph
+
+        co = coalesce(Graph(edges=[(0, 1)]), EditScript())
+        assert not co.added and not co.removed and not co.outcomes
+        assert co.applied == 0 and co.rejected == {}
+
+    def test_apply_coalesced_matches_per_op_replay(self):
+        from repro.core import DynamicTriangleKCore
+        from repro.graph import Graph
+
+        script = generate("grow_shrink", seed=9, n_ops=250)
+        shadow = Graph()
+        for op in script:
+            apply_op(shadow, op)
+        maintainer = DynamicTriangleKCore(Graph(), copy=False)
+        co = coalesce(maintainer.graph, script)
+        apply_coalesced(maintainer, co, strategy="batch")
+        assert maintainer.graph == shadow
+        from repro.core import triangle_kcore_decomposition
+
+        assert maintainer.kappa == triangle_kcore_decomposition(shadow).kappa
+
+
 # ------------------------------------------------------------------ #
 # tier-1 seed matrix
 # ------------------------------------------------------------------ #
@@ -162,6 +237,29 @@ class TestTier1Matrix:
         report = run_script(EditScript())
         assert report.ok
         assert report.final_kappa == {}
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_no_divergence_batch_mode(self, profile):
+        """The whole-batch write path under the same oracle matrix."""
+        report = run_script(
+            generate(profile, 0, 150),
+            apply_mode="batch",
+            batch_ops=25,
+        )
+        assert report.ok, report.divergence
+        assert report.checkpoints >= 6  # one per chunk boundary
+
+    def test_batch_mode_empty_script_is_clean(self):
+        report = run_script(EditScript(), apply_mode="batch")
+        assert report.ok
+        assert report.final_kappa == {}
+
+    def test_batch_mode_final_kappa_matches_per_op(self):
+        script = generate("churn", 4, 200)
+        per_op = run_script(script, checkpoint_every=50)
+        batch = run_script(script, apply_mode="batch", batch_ops=40)
+        assert per_op.ok and batch.ok
+        assert per_op.final_kappa == batch.final_kappa
 
 
 # ------------------------------------------------------------------ #
@@ -239,6 +337,83 @@ class TestMutationSmokeCheck:
         assert len(result.script) == 2
         assert result.original_ops == len(script)
         assert fails(result.script)
+
+
+class TestBatchMutationSmokeCheck:
+    """A green batch fuzz run is meaningful: an injected batch-boundary
+    bug (one affected-region edge silently dropped before settling) must
+    be detected, shrunk, and must replay clean on the real maintainer."""
+
+    def test_batch_boundary_bug_is_detected_and_shrunk(self):
+        result = fuzz(
+            seed=0,
+            ops=200,
+            profiles=["triangle_bursts"],
+            sut_factory=batch_boundary_bug_sut,
+            apply_mode="batch",
+            batch_ops=25,
+            shrink=True,
+        )
+        assert not result.ok, (
+            "the harness failed to notice the injected batch-boundary "
+            "bug (dropped affected-region edge)"
+        )
+        failure = result.first_failure
+        bundle = failure.bundle
+        assert bundle is not None and failure.shrink is not None
+        assert bundle.apply_mode == "batch"
+        assert bundle.divergence is not None
+        # Minimal trigger: a region edge NOT inserted in the same chunk
+        # whose kappa must still move — a handful of ops, not hundreds.
+        assert len(bundle.script) <= 10
+        # The recorded (tightened) chunking replays the divergence...
+        assert not replay(bundle, sut_factory=batch_boundary_bug_sut).ok
+        # ...and the same bundle is clean on the real maintainer.
+        assert replay(bundle).ok
+
+    def test_per_op_mode_does_not_trip_the_batch_bug(self):
+        """The seam only affects the batch path, pinning that per-op
+        coverage alone would have missed this bug class."""
+        report = run_script(
+            generate("triangle_bursts", 0, 200),
+            checkpoint_every=50,
+            sut_factory=batch_boundary_bug_sut,
+        )
+        assert report.ok, report.divergence
+
+
+class TestPerOpOracle:
+    """The per_op differential oracle: a stateful per-op maintainer fed
+    net diffs at every checkpoint, so batch-mode runs are checked against
+    genuinely per-op application (not just recompute)."""
+
+    def test_per_op_is_optin_not_default(self):
+        assert "per_op" in ORACLE_NAMES
+        assert "per_op" not in DEFAULT_ORACLES
+
+    @pytest.mark.parametrize("mode", ["per_op", "batch"])
+    def test_clean_run_with_per_op_oracle(self, mode):
+        report = run_script(
+            generate("churn", 0, 150),
+            checkpoint_every=50,
+            oracles=DEFAULT_ORACLES + ("per_op",),
+            apply_mode=mode,
+            batch_ops=25,
+        )
+        assert report.ok, report.divergence
+        assert "per_op" in report.oracles
+
+    def test_per_op_oracle_catches_batch_bug(self):
+        report = run_script(
+            generate("triangle_bursts", 0, 200),
+            oracles=("per_op",),
+            sut_factory=batch_boundary_bug_sut,
+            apply_mode="batch",
+            batch_ops=25,
+        )
+        assert not report.ok
+        assert report.divergence.kind == "oracle"
+        assert report.divergence.oracle == "per_op"
 
 
 # ------------------------------------------------------------------ #
@@ -336,6 +511,14 @@ heavy = pytest.mark.skipif(
 @pytest.mark.parametrize("seed", range(5))
 def test_heavy_matrix(seed):
     result = fuzz(seed=seed, ops=1000, checkpoint_every=100)
+    assert result.ok, result.first_failure.report.divergence
+
+
+@heavy
+@pytest.mark.fuzz_heavy
+@pytest.mark.parametrize("seed", range(5))
+def test_heavy_matrix_batch_mode(seed):
+    result = fuzz(seed=seed, ops=1000, apply_mode="batch", batch_ops=50)
     assert result.ok, result.first_failure.report.divergence
 
 

@@ -297,6 +297,159 @@ class TestApplyStrategies:
             maintainer.apply(removed=[(0, 1)], strategy="recompute")
 
 
+class TestBatchStrategy:
+    """strategy="batch": one affected-region pass, bit-identical to per-op."""
+
+    def test_batch_matches_per_op_mixed_script(self):
+        g = erdos_renyi(30, 0.25, seed=51)
+        removed = list(g.edges())[:8]
+        added = [(0, 27), (1, 28), (2, 29), (3, 26)]
+        added = [(u, v) for u, v in added if not g.has_edge(u, v)]
+        a = DynamicTriangleKCore(g)
+        a.apply(added=added, removed=removed, strategy="incremental")
+        b = DynamicTriangleKCore(g)
+        b.apply(added=added, removed=removed, strategy="batch")
+        assert a.kappa == b.kappa
+        assert a.graph == b.graph
+        assert_matches_static(b)
+
+    def test_batch_with_store(self):
+        g = erdos_renyi(20, 0.3, seed=52)
+        maintainer = DynamicTriangleKCore(g, store_triangles=True)
+        removed = list(g.edges())[:5]
+        added = [(u, v) for u, v in [(0, 19), (1, 18)]
+                 if not g.has_edge(u, v) or (u, v) in removed]
+        maintainer.apply(added=added, removed=removed, strategy="batch")
+        assert maintainer._store.is_consistent()
+        assert_matches_static(maintainer)
+
+    def test_batch_remove_and_readd_same_edge(self):
+        """A removed edge re-inserted in the same batch lands correctly."""
+        g = complete_graph(5)
+        maintainer = DynamicTriangleKCore(g)
+        stats = maintainer.apply(
+            added=[(0, 1)], removed=[(0, 1)], strategy="batch"
+        )
+        assert stats.strategy == "batch"
+        assert maintainer.kappa[(0, 1)] == 3
+        assert_matches_static(maintainer)
+
+    def test_empty_batch(self, k5):
+        maintainer = DynamicTriangleKCore(k5)
+        stats = maintainer.apply(strategy="batch")
+        assert stats.strategy == "batch"
+        assert stats.edges_changed == 0
+        assert_matches_static(maintainer)
+
+    def test_batch_is_all_or_nothing_on_invalid_op(self):
+        """Pre-validation: a bad op rejects the whole batch untouched."""
+        g = complete_graph(5)
+        maintainer = DynamicTriangleKCore(g)
+        before = dict(maintainer.kappa)
+        with pytest.raises(EdgeExistsError):
+            maintainer.apply(added=[(0, 9), (0, 1)], strategy="batch")
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.apply(removed=[(0, 9)], strategy="batch")
+        with pytest.raises(SelfLoopError):
+            maintainer.apply(added=[(7, 7)], strategy="batch")
+        assert maintainer.kappa == before
+        assert not maintainer.graph.has_edge(0, 9)
+
+    def test_auto_never_picks_batch(self):
+        """Batch is opt-in: the measured crossovers put auto's winners at
+        incremental (light churn) and recompute (heavy churn)."""
+        g = erdos_renyi(40, 0.3, seed=53)
+        maintainer = DynamicTriangleKCore(g)
+        stats = maintainer.apply(
+            removed=list(g.edges())[:3], strategy="auto"
+        )
+        assert stats.strategy == "incremental"
+        assert_matches_static(maintainer)
+
+    def test_auto_single_op_stays_incremental(self):
+        g = erdos_renyi(40, 0.3, seed=54)
+        maintainer = DynamicTriangleKCore(g)
+        stats = maintainer.apply(removed=list(g.edges())[:1], strategy="auto")
+        assert stats.strategy == "incremental"
+
+
+class TestUpdateStatsContract:
+    """Which UpdateStats fields each strategy guarantees (documented on
+    the class) — pinned for all strategies including batch."""
+
+    def _graph(self):
+        return erdos_renyi(25, 0.3, seed=61)
+
+    def _ops(self, g):
+        removed = list(g.edges())[:5]
+        added = [(u, v) for u, v in [(0, 23), (1, 24)] if not g.has_edge(u, v)]
+        return added, removed
+
+    def test_incremental_contract(self):
+        g = self._graph()
+        added, removed = self._ops(g)
+        stats = DynamicTriangleKCore(g).apply(
+            added=added, removed=removed, strategy="incremental"
+        )
+        assert stats.strategy == "incremental"
+        assert stats.full_snapshots == 0
+        assert stats.candidates_examined > 0
+        assert stats.region_edges == 0  # batch-only counter
+
+    def test_recompute_contract(self):
+        g = self._graph()
+        added, removed = self._ops(g)
+        stats = DynamicTriangleKCore(g).apply(
+            added=added, removed=removed, strategy="recompute"
+        )
+        assert stats.strategy == "recompute"
+        assert stats.full_snapshots == 1
+        assert stats.edges_changed > 0
+
+    def test_batch_contract(self):
+        g = self._graph()
+        added, removed = self._ops(g)
+        stats = DynamicTriangleKCore(g).apply(
+            added=added, removed=removed, strategy="batch"
+        )
+        assert stats.strategy == "batch"
+        assert stats.full_snapshots == 0
+        # Every inserted edge is in the region, so it is at least that big.
+        assert stats.region_edges >= len(added)
+        assert stats.settle_iterations >= stats.region_edges
+        assert stats.edges_changed >= len(added) + len(removed)
+
+    def test_diff_apply_takes_no_full_snapshot_incremental_or_batch(self):
+        """Satellite: the O(|E|) kappa copy is recompute-only now."""
+        for strategy in ("incremental", "batch"):
+            g = self._graph()
+            maintainer = DynamicTriangleKCore(g)
+            added, removed = self._ops(g)
+            delta = maintainer.diff_apply(
+                added=added, removed=removed, strategy=strategy
+            )
+            assert delta.stats.full_snapshots == 0, strategy
+            assert delta.created or delta.deleted or delta.demoted
+
+    def test_merge_stats_sums_new_counters(self):
+        g = complete_graph(6)
+        maintainer = DynamicTriangleKCore(g)
+        s1 = maintainer.apply(removed=[(0, 1)], strategy="batch")
+        s2 = maintainer.apply(added=[(0, 1)], strategy="batch")
+        from repro.core.dynamic import UpdateStats
+
+        merged = UpdateStats()
+        DynamicTriangleKCore._merge_stats(merged, s1)
+        DynamicTriangleKCore._merge_stats(merged, s2)
+        assert merged.region_edges == s1.region_edges + s2.region_edges
+        assert merged.settle_iterations == (
+            s1.settle_iterations + s2.settle_iterations
+        )
+        assert merged.bound_prune_hits == (
+            s1.bound_prune_hits + s2.bound_prune_hits
+        )
+
+
 class TestDiffApply:
     def test_deletion_delta(self):
         maintainer = DynamicTriangleKCore(complete_graph(5))

@@ -4,7 +4,7 @@ Covers the pool edge cases the conformance matrix cannot see from the
 outside: the workers=1 short-circuit (no pool may be constructed), empty
 and unsplittable graphs, worker crashes surfacing as BackendError instead
 of hangs, shard-range arithmetic, deterministic stats counters, the
-stats/2 schema, and the Engine.map_decompose batch API.
+stats/3 schema, and the Engine.map_decompose batch API.
 """
 
 from __future__ import annotations
@@ -270,7 +270,7 @@ class TestAutoPolicy:
 
 class TestStatsSchema:
     def test_schema_bumped(self):
-        assert STATS_SCHEMA == "repro.engine.stats/2"
+        assert STATS_SCHEMA == "repro.engine.stats/3"
 
     def test_v1_keys_still_present(self):
         # /2 is a strict superset of /1: old readers must keep working.
@@ -296,7 +296,7 @@ class TestStatsSchema:
         engine = Engine(workers=3, max_cached_graphs=0)
         engine.decompose(er(seed=9), backend="parallel")
         payload = engine.stats_dict()
-        assert payload["schema"] == "repro.engine.stats/2"
+        assert payload["schema"] == "repro.engine.stats/3"
         assert payload["backend_calls"]["parallel"] == 1
         section = payload["parallel"]
         assert section["workers"] == 3

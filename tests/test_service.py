@@ -115,7 +115,7 @@ class TestReadConformance:
 
     def test_stats_has_engine_and_service_sections(self, client):
         stats = client.stats()
-        assert stats["schema"] == "repro.engine.stats/2"
+        assert stats["schema"] == "repro.engine.stats/3"
         service = stats["service"]
         assert service["schema"] == "repro.service/1"
         assert service["graph"]["edges"] == make_fixture_graph().num_edges
@@ -225,10 +225,33 @@ class TestEdits:
         )
         assert outcome.deleted > 0
 
-    @pytest.mark.parametrize("strategy", ["incremental", "recompute"])
+    @pytest.mark.parametrize("strategy", ["incremental", "batch", "recompute"])
     def test_strategies_agree(self, strategy):
         script = generate("uniform", seed=5, n_ops=40)
         self.run_script_and_check_oracle(script, strategy=strategy)
+
+    def test_batch_strategy_counts_rejections(self):
+        """Batch coalescing must classify adversarial ops like per-op."""
+        outcome = self.run_script_and_check_oracle(
+            generate("adversarial", seed=2, n_ops=30), strategy="batch"
+        )
+        assert sum(outcome.rejected.values()) > 0
+        assert outcome.applied + sum(outcome.rejected.values()) == 30
+
+    def test_batch_edits_feed_engine_batch_stats(self):
+        """A batch /edits must show up in the /stats ``batch`` section."""
+        with BackgroundServer(make_fixture_graph()) as server:
+            with ServiceClient("127.0.0.1", server.port) as client:
+                before = client.stats().get("batch", {})
+                client.edits(
+                    generate("triangle_bursts", seed=9, n_ops=25),
+                    strategy="batch",
+                )
+                after = client.stats()["batch"]
+                assert after["applies"] == before.get("applies", 0) + 1
+                assert after["settle_iterations"] >= before.get(
+                    "settle_iterations", 0
+                )
 
     @pytest.mark.parametrize(
         "profile", ["uniform", "churn", "triangle_bursts", "grow_shrink", "adversarial"]
@@ -242,7 +265,7 @@ class TestEdits:
         with BackgroundServer(make_fixture_graph()) as server:
             with ServiceClient("127.0.0.1", server.port) as client:
                 seen = [client.healthz().version]
-                for strategy in ("incremental", "recompute", None):
+                for strategy in ("incremental", "batch", "recompute", None):
                     outcome = client.edits(
                         generate("churn", seed=3, n_ops=25),
                         strategy=strategy,

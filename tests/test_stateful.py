@@ -67,7 +67,7 @@ class DynamicMaintainerMachine(RuleBasedStateMachine):
             st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES)),
             max_size=5,
         ),
-        strategy=st.sampled_from(["incremental", "recompute", "auto"]),
+        strategy=st.sampled_from(["incremental", "batch", "recompute", "auto"]),
     )
     def batch_apply(self, pairs, strategy):
         graph = self.maintainer.graph
@@ -143,7 +143,7 @@ class DiffApplyBaselineMachine(RuleBasedStateMachine):
             st.tuples(st.sampled_from(VERTICES), st.sampled_from(VERTICES)),
             max_size=6,
         ),
-        strategy=st.sampled_from(["incremental", "recompute", "auto"]),
+        strategy=st.sampled_from(["incremental", "batch", "recompute", "auto"]),
     )
     def diff_apply_batch(self, pairs, strategy):
         graph = self.maintainer.graph

@@ -2,7 +2,7 @@
 
 Contract: with ``--stats``, a subcommand's **last stdout line** is exactly
 one JSON object validating against the engine stats schema
-(``repro.engine.stats/2``) — everything human-readable goes above it, so
+(``repro.engine.stats/3``) — everything human-readable goes above it, so
 scripts can always ``tail -1 | jq``.  The ``serve`` subcommand honours the
 same contract by dumping stats after its SIGTERM drain.
 
@@ -25,13 +25,14 @@ from repro.graph import Graph, write_edge_list
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Required top-level keys of the stats /2 schema.
+#: Required top-level keys of the stats /3 schema.
 STATS_KEYS = {
     "schema",
     "counters",
     "backend_calls",
     "stage_seconds",
     "parallel",
+    "batch",
     "default_backend",
     "cached_graphs",
     "cached_artifacts",
@@ -44,7 +45,7 @@ def assert_stats_contract(stdout: str) -> dict:
     assert lines, "no output produced"
     payload = json.loads(lines[-1])
     assert isinstance(payload, dict)
-    assert payload["schema"] == "repro.engine.stats/2"
+    assert payload["schema"] == "repro.engine.stats/3"
     assert STATS_KEYS <= set(payload), sorted(STATS_KEYS - set(payload))
     # Exactly one JSON object: the line above it (if any) must NOT parse
     # as a JSON object (it is human-readable prose).
