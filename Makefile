@@ -8,6 +8,7 @@
 #   make bench-parallel  parallel backend vs csr speedup gate
 #   make bench-batch   batched maintenance vs per-op speedup gate
 #   make bench-service  query-service closed-loop load generator
+#   make bench-replication  read-scaling of 1 vs 2 replica processes
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
 #   make artifacts  test + bench with logs captured at the repo root
@@ -18,7 +19,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine bench-parallel bench-batch bench-service figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel bench-batch bench-service bench-replication figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +41,9 @@ bench-batch:
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+bench-replication:
+	$(PYTHON) benchmarks/bench_replication.py
 
 figures: bench
 

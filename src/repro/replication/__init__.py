@@ -1,0 +1,70 @@
+"""Replicated read-scaling tier for the Triangle K-Core query service.
+
+A single **writer** process owns the authoritative
+:class:`~repro.core.dynamic.DynamicTriangleKCore`; every committed edit
+batch is shipped as a length-prefixed, checksummed frame over a
+replication log socket to any number of **replica** processes, which
+fold the edits into their own warm indexes and answer reads stamped with
+``answered_at_version``.  A front **router** spreads reads across the
+replicas and forwards writes to the writer; clients get read-your-writes
+by passing the write's returned ``version`` back as a ``min_version``
+read fence.
+
+See docs/SERVICE.md ("Replication") for the consistency model and
+topology, and ``tests/test_replication.py`` for the conformance suite.
+"""
+
+from .frames import (
+    KIND_COMMIT,
+    KIND_HELLO,
+    KIND_SNAPSHOT,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CommitRecord,
+    FrameError,
+    ReplicationDivergenceError,
+    ReplicationError,
+    decode_header,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+from .hub import REPLICATION_SCHEMA, ReplicationLog, WriterServer, WriterState
+from .launcher import (
+    ANNOUNCE_PREFIX,
+    BackgroundRouter,
+    ClusterProcess,
+    LocalCluster,
+    ReplicatedCluster,
+)
+from .replica import ReplicaServer, ReplicaState
+from .router import RouterServer, run_router
+
+__all__ = [
+    "ANNOUNCE_PREFIX",
+    "BackgroundRouter",
+    "ClusterProcess",
+    "CommitRecord",
+    "FrameError",
+    "KIND_COMMIT",
+    "KIND_HELLO",
+    "KIND_SNAPSHOT",
+    "LocalCluster",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REPLICATION_SCHEMA",
+    "ReplicaServer",
+    "ReplicaState",
+    "ReplicatedCluster",
+    "ReplicationDivergenceError",
+    "ReplicationError",
+    "ReplicationLog",
+    "RouterServer",
+    "WriterServer",
+    "WriterState",
+    "decode_header",
+    "decode_payload",
+    "encode_frame",
+    "read_frame",
+    "run_router",
+]

@@ -1,0 +1,242 @@
+"""The replication wire format: length-prefixed, versioned, checksummed.
+
+Everything that travels between the writer and its replicas is a
+**frame**::
+
+    +-------+-------+------+----------+---------+=============+
+    | magic | proto | kind | length   | crc32   | payload ... |
+    | 4s    | u8    | u8   | u32 (BE) | u32(BE) | JSON bytes  |
+    +-------+-------+------+----------+---------+=============+
+
+* ``magic`` (``TKRL``) catches cross-protocol connections immediately;
+* ``proto`` is the replication protocol version — a replica refuses to
+  fold frames from a writer speaking a different protocol;
+* ``length`` prefixes the payload so a reader always knows how many
+  bytes one frame occupies (partial reads surface as ``truncated``);
+* ``crc32`` covers the payload, so a corrupt log frame is rejected with
+  a **typed** :class:`FrameError` instead of being half-applied.
+
+The payload of every frame is one JSON document.  Frame kinds:
+
+``HELLO``
+    Replica → writer on (re)connect: the replica's current version and
+    whether it holds any state at all.
+``SNAPSHOT``
+    Writer → replica: the full authoritative state at a version fence
+    (graph + kappa via :meth:`DynamicTriangleKCore.snapshot
+    <repro.core.dynamic.DynamicTriangleKCore.snapshot>`, plus the
+    template baseline).  Sent when the replica is uninitialized or has
+    fallen behind the retained log tail.
+``COMMIT``
+    Writer → replica: one committed edit batch — the PR 2 EditScript ops
+    plus the version transition (``prev_version -> version``) and the
+    repair strategy the writer resolved.  Replicas fold commits in order
+    and must land on exactly ``version``.
+
+Corruption never degrades silently: a bad magic, protocol, kind, CRC,
+length, or JSON body raises :class:`FrameError` carrying a machine
+readable ``reason``, and the replica drops the connection (a fresh
+handshake resynchronizes from its last good version).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..exceptions import ReproError
+
+#: Replication protocol version; bump on frame-layout or payload changes.
+PROTOCOL_VERSION = 1
+
+#: Frame magic: any other prefix is not a replication stream.
+MAGIC = b"TKRL"
+
+_HEADER = struct.Struct(">4sBBII")
+HEADER_BYTES = _HEADER.size
+
+#: Hard cap on one frame's payload (snapshots of large graphs included).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+# Frame kinds.
+KIND_HELLO = 1
+KIND_SNAPSHOT = 2
+KIND_COMMIT = 3
+
+KIND_NAMES = {
+    KIND_HELLO: "hello",
+    KIND_SNAPSHOT: "snapshot",
+    KIND_COMMIT: "commit",
+}
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-tier failures."""
+
+
+class FrameError(ReplicationError):
+    """A frame that must not be applied, with a machine-readable reason.
+
+    ``reason`` is one of ``truncated`` / ``bad_magic`` / ``bad_protocol``
+    / ``bad_kind`` / ``oversized`` / ``bad_crc`` / ``bad_json``.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(f"[{reason}] {message}")
+        self.reason = reason
+
+
+class ReplicationDivergenceError(ReplicationError):
+    """A replica's state no longer matches the writer's version stream."""
+
+
+def encode_frame(kind: int, payload: dict) -> bytes:
+    """Serialize one frame (header + JSON payload) to raw bytes."""
+    if kind not in KIND_NAMES:
+        raise ValueError(f"unknown frame kind {kind!r}")
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, kind, len(body), zlib.crc32(body) & 0xFFFFFFFF
+    )
+    return header + body
+
+
+def decode_header(header: bytes) -> Tuple[int, int, int]:
+    """Validate a raw header; returns ``(kind, length, crc32)``."""
+    if len(header) != HEADER_BYTES:
+        raise FrameError(
+            "truncated",
+            f"frame header is {len(header)} bytes, expected {HEADER_BYTES}",
+        )
+    magic, proto, kind, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError("bad_magic", f"expected {MAGIC!r}, got {magic!r}")
+    if proto != PROTOCOL_VERSION:
+        raise FrameError(
+            "bad_protocol",
+            f"peer speaks replication protocol {proto}, "
+            f"this build speaks {PROTOCOL_VERSION}",
+        )
+    if kind not in KIND_NAMES:
+        raise FrameError("bad_kind", f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            "oversized",
+            f"frame payload of {length} bytes exceeds {MAX_FRAME_BYTES}",
+        )
+    return kind, length, crc
+
+
+def decode_payload(kind: int, body: bytes, crc: int) -> dict:
+    """Check the CRC and decode the JSON payload of one frame."""
+    if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+        raise FrameError(
+            "bad_crc",
+            f"{KIND_NAMES[kind]} frame payload failed its CRC check "
+            f"({len(body)} bytes)",
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(
+            "bad_json", f"{KIND_NAMES[kind]} frame payload is not JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise FrameError(
+            "bad_json",
+            f"{KIND_NAMES[kind]} frame payload must be a JSON object",
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, dict]:
+    """Read one frame off ``reader``; returns ``(kind, payload)``.
+
+    Raises :class:`FrameError` on any malformed frame and
+    ``asyncio.IncompleteReadError`` only via the ``truncated`` reason —
+    a cleanly closed stream *before the first header byte* surfaces as
+    ``ConnectionResetError`` so callers can tell orderly EOF apart from
+    mid-frame truncation.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise ConnectionResetError("replication stream closed") from None
+        raise FrameError(
+            "truncated",
+            f"stream closed after {len(error.partial)} header bytes",
+        ) from None
+    kind, length, crc = decode_header(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError(
+            "truncated",
+            f"stream closed {length - len(error.partial)} bytes short of a "
+            f"{KIND_NAMES[kind]} frame payload",
+        ) from None
+    return kind, decode_payload(kind, body, crc)
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed edit batch in the writer's log.
+
+    ``prev_version -> version`` is the exact transition the batch made on
+    the writer's authoritative graph; a replica folding the record must
+    land on ``version`` or declare divergence.  ``strategy`` is the
+    *resolved* repair strategy (``incremental`` / ``batch`` /
+    ``recompute`` — never ``auto``), so replicas replay deterministically
+    without re-resolving.
+    """
+
+    prev_version: int
+    version: int
+    strategy: str
+    ops: List[list]
+
+    def to_payload(self) -> dict:
+        return {
+            "prev_version": self.prev_version,
+            "version": self.version,
+            "strategy": self.strategy,
+            "ops": self.ops,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CommitRecord":
+        try:
+            prev_version = payload["prev_version"]
+            version = payload["version"]
+            strategy = payload["strategy"]
+            ops = payload["ops"]
+        except (KeyError, TypeError) as error:
+            raise FrameError(
+                "bad_json", f"malformed commit record: {error!r}"
+            ) from None
+        if (
+            not isinstance(prev_version, int)
+            or not isinstance(version, int)
+            or not isinstance(strategy, str)
+            or not isinstance(ops, list)
+        ):
+            raise FrameError(
+                "bad_json", f"malformed commit record fields: {payload!r}"
+            )
+        return cls(
+            prev_version=prev_version,
+            version=version,
+            strategy=strategy,
+            ops=ops,
+        )

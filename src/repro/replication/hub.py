@@ -1,0 +1,325 @@
+"""The writer side of the replication tier: log, state, and feed server.
+
+One process owns the authoritative :class:`DynamicTriangleKCore` — the
+**writer**.  Every edit batch it commits becomes a
+:class:`~repro.replication.frames.CommitRecord` appended to an in-memory
+:class:`ReplicationLog`; a second listening socket (the *feed* port)
+streams those records, length-prefixed and checksummed, to any number of
+replicas.
+
+Joining (and re-joining) replicas handshake with a ``HELLO`` frame that
+carries their current version.  The writer answers in one of two ways:
+
+* the replica's version is inside the retained log window → stream the
+  **log tail** from that version (cheap catch-up);
+* the replica is uninitialized, diverged, or has fallen behind the log's
+  retention floor → ship a full **snapshot** at a version fence (graph +
+  kappa + the template baseline), then stream from the fence.
+
+Commit records carry the exact version transition the writer's graph
+made (``prev_version -> version``) and the *resolved* repair strategy,
+so replicas replay the same mutations the writer performed and must land
+on the same version — a structural conformance check that runs on every
+fold, for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..graph.undirected import Graph
+from ..service.server import ServiceServer
+from ..service.state import ServiceState
+from ..testing.editscript import EditScript
+from .frames import (
+    KIND_COMMIT,
+    KIND_HELLO,
+    KIND_SNAPSHOT,
+    CommitRecord,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+
+#: Schema tag for the snapshot document a joining replica receives.
+REPLICATION_SCHEMA = "repro.replication/1"
+
+
+class ReplicationLog:
+    """Bounded in-memory window of contiguous commit records.
+
+    Appends are contiguous by construction (each record's
+    ``prev_version`` must equal the log head); once ``capacity`` records
+    are retained the oldest is dropped and the retention **floor** rises
+    — replicas below the floor must resync via snapshot.  All methods are
+    thread-safe: the writer state may commit from any thread while feed
+    tasks read on the event loop.
+    """
+
+    def __init__(self, *, capacity: int = 4096, head_version: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"log capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[CommitRecord] = deque()
+        self._head = head_version
+        self._lock = threading.Lock()
+
+    @property
+    def head_version(self) -> int:
+        """Version of the newest committed record (or the seed version)."""
+        with self._lock:
+            return self._head
+
+    @property
+    def floor_version(self) -> int:
+        """Oldest version the retained tail can serve a replica from."""
+        with self._lock:
+            return self._records[0].prev_version if self._records else self._head
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def append(self, record: CommitRecord) -> None:
+        with self._lock:
+            if record.prev_version != self._head:
+                raise ValueError(
+                    f"non-contiguous commit: log head is {self._head}, "
+                    f"record transitions {record.prev_version} -> "
+                    f"{record.version}"
+                )
+            self._records.append(record)
+            self._head = record.version
+            while len(self._records) > self.capacity:
+                self._records.popleft()
+
+    def can_serve(self, version: int) -> bool:
+        """Can a replica at ``version`` catch up from the retained tail?"""
+        with self._lock:
+            floor = self._records[0].prev_version if self._records else self._head
+            return floor <= version <= self._head
+
+    def tail_since(self, version: int) -> Optional[List[CommitRecord]]:
+        """Records transitioning past ``version``, oldest first.
+
+        Returns ``None`` when ``version`` is outside the retained window
+        (the caller must resync via snapshot); an empty list means the
+        replica is already at head.
+        """
+        with self._lock:
+            floor = self._records[0].prev_version if self._records else self._head
+            if not floor <= version <= self._head:
+                return None
+            # Strictly past ``version``: a consumer at the head must get
+            # [], never a record that leaves its cursor where it was.
+            return [r for r in self._records if r.version > version]
+
+
+class WriterState(ServiceState):
+    """The authoritative :class:`ServiceState`, committing to a log.
+
+    Behaves exactly like a standalone state — same edit semantics, same
+    read payloads — plus: every applied batch appends one
+    :class:`CommitRecord` (ops + version transition + resolved strategy)
+    to :attr:`log` and wakes registered commit listeners so feed tasks
+    can push the record to replicas immediately.
+    """
+
+    def __init__(self, graph: Graph, *, log_capacity: int = 4096, **kwargs) -> None:
+        super().__init__(graph, **kwargs)
+        self.role = "writer"
+        self.log = ReplicationLog(
+            capacity=log_capacity, head_version=self.version
+        )
+        # Thread-safe wake hooks (feed servers register
+        # loop.call_soon_threadsafe trampolines here).
+        self._commit_listeners: List[Callable[[], None]] = []
+
+    def add_commit_listener(self, callback: Callable[[], None]) -> None:
+        self._commit_listeners.append(callback)
+
+    def remove_commit_listener(self, callback: Callable[[], None]) -> None:
+        if callback in self._commit_listeners:
+            self._commit_listeners.remove(callback)
+
+    def apply_edits(self, script: EditScript, *, strategy=None) -> dict:
+        outcome = super().apply_edits(script, strategy=strategy)
+        if outcome["version"] == outcome["prev_version"]:
+            # Every op was rejected: nothing changed, so there is
+            # nothing to replicate.  A zero-progress record must never
+            # enter the log — it would match ``tail_since(head)``
+            # forever and spin the feed tasks.
+            return outcome
+        record = CommitRecord(
+            prev_version=outcome["prev_version"],
+            version=outcome["version"],
+            strategy=outcome["strategy"],
+            ops=[op.to_json_obj() for op in script],
+        )
+        self.log.append(record)
+        for callback in list(self._commit_listeners):
+            callback()
+        return outcome
+
+    def snapshot_document(self) -> dict:
+        """Full state for a joining replica, taken at a version fence.
+
+        Serialized under the write lock so the maintainer snapshot and
+        its version cannot straddle a concurrent commit.  Includes the
+        frozen template baseline — replicas must answer
+        ``GET /templates/<name>`` against the *writer's* startup graph,
+        not their own (empty) one.
+        """
+        with self._write_lock:
+            return {
+                "schema": REPLICATION_SCHEMA,
+                "version": self.version,
+                "state": self.maintainer.snapshot(),
+                "baseline": {
+                    "version": self.baseline_version,
+                    "vertices": sorted(self.baseline.vertices(), key=repr),
+                    "edges": sorted(
+                        ([u, v] for u, v in self.baseline.edges()),
+                        key=lambda row: (repr(row[0]), repr(row[1])),
+                    ),
+                },
+            }
+
+    def health(self, *, draining: bool = False) -> dict:
+        payload = super().health(draining=draining)
+        payload["replication"] = {
+            "log_head": self.log.head_version,
+            "log_floor": self.log.floor_version,
+            "log_records": len(self.log),
+        }
+        return payload
+
+
+class WriterServer(ServiceServer):
+    """A :class:`ServiceServer` plus the replication feed listener.
+
+    The HTTP side is unchanged (same admission control, same serial
+    dispatcher).  A second socket accepts replica connections: each gets
+    its own feed task that handshakes (``HELLO``), resyncs (snapshot or
+    log tail), then streams commits as they land.  Slow consumers that
+    fall behind the log's retention floor mid-stream are disconnected and
+    resync on reconnect.
+    """
+
+    def __init__(
+        self,
+        state: WriterState,
+        *,
+        repl_host: str = "127.0.0.1",
+        repl_port: int = 0,
+        **kwargs,
+    ) -> None:
+        if not isinstance(state, WriterState):
+            raise TypeError(
+                f"WriterServer requires a WriterState, got {type(state).__name__}"
+            )
+        super().__init__(state, **kwargs)
+        self.repl_host = repl_host
+        self._requested_repl_port = repl_port
+        self._repl_server: Optional[asyncio.base_events.Server] = None
+        self._feed_tasks: set = set()
+        # Generation event: set-and-replaced on every commit, so a feed
+        # task that captured the old event before checking the log can
+        # never miss a wakeup.
+        self._commit_event = asyncio.Event()
+        self._commit_hook: Optional[Callable[[], None]] = None
+
+    @property
+    def repl_port(self) -> int:
+        """The bound feed port (only valid after :meth:`start`)."""
+        if self._repl_server is None or not self._repl_server.sockets:
+            raise RuntimeError("replication listener is not started")
+        return self._repl_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await super().start()
+        self._repl_server = await asyncio.start_server(
+            self._handle_replica, self.repl_host, self._requested_repl_port
+        )
+        loop = asyncio.get_running_loop()
+
+        def hook() -> None:
+            # Commits normally happen on this loop (the dispatcher), but
+            # embedders may drive the state from another thread.
+            loop.call_soon_threadsafe(self._signal_commit)
+
+        self._commit_hook = hook
+        self.state.add_commit_listener(hook)
+
+    def _signal_commit(self) -> None:
+        event = self._commit_event
+        self._commit_event = asyncio.Event()
+        event.set()
+
+    async def _handle_replica(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._feed_tasks.add(task)
+        log: ReplicationLog = self.state.log
+        try:
+            kind, payload = await read_frame(reader)
+            if kind != KIND_HELLO:
+                return
+            version = payload.get("version")
+            initialized = bool(payload.get("initialized"))
+            cursor = version if isinstance(version, int) else -1
+            if not initialized or not log.can_serve(cursor):
+                document = self.state.snapshot_document()
+                writer.write(encode_frame(KIND_SNAPSHOT, document))
+                await writer.drain()
+                cursor = document["version"]
+            while not self._draining:
+                event = self._commit_event
+                records = log.tail_since(cursor)
+                if records is None:
+                    # Fell behind the retention floor mid-stream; the
+                    # replica reconnects and resyncs via snapshot.
+                    break
+                if records:
+                    for record in records:
+                        writer.write(
+                            encode_frame(KIND_COMMIT, record.to_payload())
+                        )
+                        cursor = record.version
+                    await writer.drain()
+                    continue
+                await event.wait()
+        except (
+            FrameError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._feed_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def drain(self) -> None:
+        self._draining = True
+        if self._repl_server is not None:
+            self._repl_server.close()
+            await self._repl_server.wait_closed()
+        if self._commit_hook is not None:
+            self.state.remove_commit_listener(self._commit_hook)
+        # Wake parked feed tasks so they observe the drain and exit.
+        self._signal_commit()
+        if self._feed_tasks:
+            await asyncio.gather(*list(self._feed_tasks), return_exceptions=True)
+        await super().drain()

@@ -1,0 +1,560 @@
+"""Cluster harnesses: wire up a writer, N replicas, and a router.
+
+Two flavours, same topology:
+
+* :class:`LocalCluster` — everything in the current process, one daemon
+  thread (and event loop) per component.  The conformance and property
+  suites use it: tests can reach **into** each replica's state (e.g.
+  compare its folded kappa map against a from-scratch recompute of the
+  writer's graph) while still exercising the real sockets, frames, and
+  fences between components.
+* :class:`ReplicatedCluster` — one OS process per component via the CLI
+  (``triangle-kcore serve --role ...``), parsing each child's structured
+  ``ANNOUNCE {json}`` stdout line for its bound ports.  The
+  fault-injection suite and the replication benchmark use it: processes
+  can be SIGKILLed mid-stream and rejoined for real.
+
+Both expose the same accessors (writer/replica/router addresses and
+ready-made :class:`~repro.service.client.ServiceClient` instances) so a
+test parameterized over clusters reads identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.undirected import Graph
+from ..service.client import ServiceClient
+from ..service.server import BackgroundServer
+from .hub import WriterServer, WriterState
+from .replica import ReplicaServer, ReplicaState
+from .router import RouterServer
+
+#: Prefix of the structured stdout line every ``serve --role`` prints.
+ANNOUNCE_PREFIX = "ANNOUNCE "
+
+
+class BackgroundRouter:
+    """A :class:`RouterServer` on an event loop in a daemon thread."""
+
+    def __init__(
+        self,
+        *,
+        writer_addr: Tuple[str, int],
+        replica_addrs: List[Tuple[str, int]],
+        **router_kwargs,
+    ) -> None:
+        self._kwargs = dict(
+            writer_addr=writer_addr,
+            replica_addrs=replica_addrs,
+            **router_kwargs,
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failed: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.router: Optional[RouterServer] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "BackgroundRouter":
+        if self._thread is not None:
+            raise RuntimeError("already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="triangle-kcore-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("router thread failed to start in time")
+        if self._failed is not None:
+            raise RuntimeError(
+                f"router thread failed to start: {self._failed!r}"
+            ) from self._failed
+        return self
+
+    def _thread_main(self) -> None:
+        async def main() -> None:
+            router = RouterServer(**self._kwargs)
+            try:
+                await router.start()
+            except BaseException as error:
+                self._failed = error
+                self._ready.set()
+                raise
+            self.router = router
+            self.port = router.port
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await router.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # noqa: BLE001 - surfaced via start()
+            if not self._ready.is_set():
+                self._failed = error
+                self._ready.set()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_shutdown)
+            except RuntimeError:
+                pass
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("router thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class LocalCluster:
+    """Writer + N replicas + router, all in this process (one thread each).
+
+    Tests get sockets-and-frames realism *and* white-box access:
+    :attr:`writer_state` / :attr:`replica_states` are the live state
+    objects, so a conformance check can read a replica's folded kappa map
+    directly instead of paging it over HTTP.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        replicas: int = 2,
+        backend: Optional[str] = None,
+        edit_strategy: str = "auto",
+        log_capacity: int = 4096,
+        with_router: bool = True,
+        router_port: int = 0,
+        fence_timeout: float = 5.0,
+        replica_reconnect_min: float = 0.05,
+    ) -> None:
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        self._graph = graph
+        self._n_replicas = replicas
+        self._backend = backend
+        self._edit_strategy = edit_strategy
+        self._log_capacity = log_capacity
+        self._with_router = with_router
+        self._router_port = router_port
+        self._fence_timeout = fence_timeout
+        self._reconnect_min = replica_reconnect_min
+        self.writer: Optional[BackgroundServer] = None
+        self.writer_state: Optional[WriterState] = None
+        self.replicas: List[BackgroundServer] = []
+        self.router: Optional[BackgroundRouter] = None
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def start(self) -> "LocalCluster":
+        self.writer_state = WriterState(
+            self._graph,
+            backend=self._backend,
+            edit_strategy=self._edit_strategy,
+            log_capacity=self._log_capacity,
+        )
+        self.writer = BackgroundServer(
+            state=self.writer_state,
+            server_cls=WriterServer,
+            fence_timeout=self._fence_timeout,
+        ).start()
+        for _ in range(self._n_replicas):
+            self._start_replica()
+        self.wait_caught_up()
+        if self._with_router:
+            self.router = BackgroundRouter(
+                writer_addr=("127.0.0.1", self.writer_port),
+                replica_addrs=[
+                    ("127.0.0.1", port) for port in self.replica_ports
+                ],
+                port=self._router_port,
+            ).start()
+        return self
+
+    def _start_replica(self) -> BackgroundServer:
+        state = ReplicaState(backend=self._backend)
+        background = BackgroundServer(
+            state=state,
+            server_cls=ReplicaServer,
+            writer_host="127.0.0.1",
+            writer_port=self.writer_repl_port,
+            reconnect_min=self._reconnect_min,
+            fence_timeout=self._fence_timeout,
+        ).start()
+        self.replicas.append(background)
+        return background
+
+    def stop(self) -> None:
+        if self.router is not None:
+            self.router.stop()
+            self.router = None
+        for background in self.replicas:
+            background.stop()
+        self.replicas = []
+        if self.writer is not None:
+            self.writer.stop()
+            self.writer = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- #
+    # topology accessors
+    # -------------------------------------------------------------- #
+
+    @property
+    def writer_port(self) -> int:
+        assert self.writer is not None and self.writer.port is not None
+        return self.writer.port
+
+    @property
+    def writer_repl_port(self) -> int:
+        assert self.writer is not None and self.writer.server is not None
+        return self.writer.server.repl_port  # type: ignore[attr-defined]
+
+    @property
+    def replica_ports(self) -> List[int]:
+        return [background.port for background in self.replicas]
+
+    @property
+    def router_port(self) -> int:
+        assert self.router is not None and self.router.port is not None
+        return self.router.port
+
+    @property
+    def replica_states(self) -> List[ReplicaState]:
+        return [background.state for background in self.replicas]  # type: ignore[misc]
+
+    def writer_client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.writer_port, **kwargs)
+
+    def replica_client(self, index: int, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.replica_ports[index], **kwargs)
+
+    def router_client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.router_port, **kwargs)
+
+    # -------------------------------------------------------------- #
+    # synchronization helpers
+    # -------------------------------------------------------------- #
+
+    def wait_caught_up(self, timeout: float = 30.0) -> None:
+        """Block until every replica has installed its first snapshot."""
+        deadline = time.monotonic() + timeout
+        for background in self.replicas:
+            server = background.server
+            while time.monotonic() < deadline:
+                if server is not None and server.caught_up.is_set():  # type: ignore[attr-defined]
+                    break
+                time.sleep(0.005)
+            else:
+                raise TimeoutError("replica did not catch up in time")
+
+    def wait_converged(self, version: int, timeout: float = 30.0) -> None:
+        """Block until every replica has folded up to ``version``."""
+        deadline = time.monotonic() + timeout
+        for state in self.replica_states:
+            while state.version < version:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"replica stuck at version {state.version}, "
+                        f"wanted {version}"
+                    )
+                time.sleep(0.005)
+
+    def restart_replica(self, index: int) -> BackgroundServer:
+        """Drain one replica and start a fresh (empty) one in its place.
+
+        The newcomer must rejoin via snapshot + catch-up; its state
+        object is brand new (``replica_states[index]`` changes).
+        """
+        old = self.replicas.pop(index)
+        old.stop()
+        state = ReplicaState(backend=self._backend)
+        background = BackgroundServer(
+            state=state,
+            server_cls=ReplicaServer,
+            writer_host="127.0.0.1",
+            writer_port=self.writer_repl_port,
+            reconnect_min=self._reconnect_min,
+            fence_timeout=self._fence_timeout,
+        ).start()
+        self.replicas.insert(index, background)
+        return background
+
+
+# ------------------------------------------------------------------ #
+# subprocess-based cluster (fault injection, benchmarks)
+# ------------------------------------------------------------------ #
+
+
+class ClusterProcess:
+    """One ``serve --role ...`` child with line-buffered stdout capture."""
+
+    def __init__(self, cli_args: List[str], *, label: str) -> None:
+        self.label = label
+        self.args = cli_args
+        env = dict(os.environ)
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", *cli_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.lines: "queue.Queue[str]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._pump, name=f"cluster-stdout-{label}", daemon=True
+        )
+        self._reader.start()
+        self.announce: Optional[dict] = None
+
+    def _pump(self) -> None:
+        assert self.process.stdout is not None
+        for line in self.process.stdout:
+            self.lines.put(line.rstrip("\n"))
+
+    def wait_announce(self, timeout: float = 60.0) -> dict:
+        """Block until the child prints its ``ANNOUNCE {json}`` line."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{self.label}: no ANNOUNCE line within {timeout:g}s"
+                )
+            if self.process.poll() is not None:
+                backlog = []
+                while not self.lines.empty():
+                    backlog.append(self.lines.get_nowait())
+                raise RuntimeError(
+                    f"{self.label} exited with {self.process.returncode} "
+                    f"before announcing: {backlog[-5:]}"
+                )
+            try:
+                line = self.lines.get(timeout=min(remaining, 0.2))
+            except queue.Empty:
+                continue
+            if line.startswith(ANNOUNCE_PREFIX):
+                self.announce = json.loads(line[len(ANNOUNCE_PREFIX):])
+                return self.announce
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the crash-fault injector (no drain, no goodbye)."""
+        if self.alive:
+            self.process.kill()
+        self.process.wait(timeout=30)
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """SIGTERM and wait for the graceful drain."""
+        if self.alive:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            return self.process.wait(timeout=timeout)
+
+
+class ReplicatedCluster:
+    """Writer + N replicas + router as real OS processes via the CLI.
+
+    ``graph_spec`` is whatever ``serve`` accepts (a dataset name or an
+    edge-list path).  Components bind port 0 and report where the kernel
+    put them through their ``ANNOUNCE`` lines.
+    """
+
+    def __init__(
+        self,
+        graph_spec: str,
+        *,
+        replicas: int = 2,
+        backend: Optional[str] = None,
+        edit_strategy: str = "auto",
+        with_router: bool = True,
+        extra_serve_args: Tuple[str, ...] = (),
+    ) -> None:
+        self.graph_spec = graph_spec
+        self.n_replicas = replicas
+        self.backend = backend
+        self.edit_strategy = edit_strategy
+        self.with_router = with_router
+        self.extra_serve_args = tuple(extra_serve_args)
+        self.writer: Optional[ClusterProcess] = None
+        self.replicas: List[Optional[ClusterProcess]] = []
+        self.router: Optional[ClusterProcess] = None
+        self.writer_port: Optional[int] = None
+        self.writer_repl_port: Optional[int] = None
+        self.replica_ports: List[int] = []
+        self.router_port: Optional[int] = None
+
+    def _common_args(self) -> List[str]:
+        args: List[str] = []
+        if self.backend:
+            args += ["--backend", self.backend]
+        args += list(self.extra_serve_args)
+        return args
+
+    def start(self) -> "ReplicatedCluster":
+        self.writer = ClusterProcess(
+            [
+                "serve",
+                self.graph_spec,
+                "--role",
+                "writer",
+                "--port",
+                "0",
+                "--repl-port",
+                "0",
+                "--edit-strategy",
+                self.edit_strategy,
+                *self._common_args(),
+            ],
+            label="writer",
+        )
+        announce = self.writer.wait_announce()
+        self.writer_port = int(announce["port"])
+        self.writer_repl_port = int(announce["repl_port"])
+        for index in range(self.n_replicas):
+            self.replicas.append(self._spawn_replica(index))
+        self.replica_ports = []
+        for replica in self.replicas:
+            assert replica is not None
+            self.replica_ports.append(int(replica.wait_announce()["port"]))
+        if self.with_router:
+            router_args = [
+                "serve",
+                "--role",
+                "router",
+                "--port",
+                "0",
+                "--writer",
+                f"127.0.0.1:{self.writer_port}",
+            ]
+            for port in self.replica_ports:
+                router_args += ["--replica", f"127.0.0.1:{port}"]
+            self.router = ClusterProcess(router_args, label="router")
+            self.router_port = int(self.router.wait_announce()["port"])
+        return self
+
+    def _spawn_replica(self, index: int) -> ClusterProcess:
+        return ClusterProcess(
+            [
+                "serve",
+                "--role",
+                "replica",
+                "--port",
+                "0",
+                "--writer-feed",
+                f"127.0.0.1:{self.writer_repl_port}",
+                *self._common_args(),
+            ],
+            label=f"replica-{index}",
+        )
+
+    def stop(self) -> None:
+        if self.router is not None:
+            self.router.terminate()
+            self.router = None
+        for replica in self.replicas:
+            if replica is not None:
+                replica.terminate()
+        self.replicas = []
+        if self.writer is not None:
+            self.writer.terminate()
+            self.writer = None
+
+    def __enter__(self) -> "ReplicatedCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- #
+    # fault injection
+    # -------------------------------------------------------------- #
+
+    def kill_replica(self, index: int) -> None:
+        replica = self.replicas[index]
+        assert replica is not None, "replica already dead"
+        replica.kill()
+        self.replicas[index] = None
+
+    def restart_replica(self, index: int, timeout: float = 60.0) -> int:
+        """Start a fresh replica process in slot ``index``; returns its port."""
+        assert self.replicas[index] is None, "kill the old replica first"
+        replica = self._spawn_replica(index)
+        self.replicas[index] = replica
+        port = int(replica.wait_announce(timeout=timeout)["port"])
+        self.replica_ports[index] = port
+        return port
+
+    def kill_writer(self) -> None:
+        assert self.writer is not None
+        self.writer.kill()
+        self.writer = None
+
+    # -------------------------------------------------------------- #
+    # clients
+    # -------------------------------------------------------------- #
+
+    def writer_client(self, **kwargs) -> ServiceClient:
+        assert self.writer_port is not None
+        return ServiceClient("127.0.0.1", self.writer_port, **kwargs)
+
+    def replica_client(self, index: int, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.replica_ports[index], **kwargs)
+
+    def router_client(self, **kwargs) -> ServiceClient:
+        assert self.router_port is not None
+        return ServiceClient("127.0.0.1", self.router_port, **kwargs)
+
+    def wait_converged(
+        self, version: int, timeout: float = 60.0, poll: float = 0.02
+    ) -> None:
+        """Poll every live replica's ``/healthz`` until it reaches ``version``."""
+        deadline = time.monotonic() + timeout
+        for index, replica in enumerate(self.replicas):
+            if replica is None or not replica.alive:
+                continue
+            client = self.replica_client(index, timeout=5.0)
+            try:
+                while True:
+                    try:
+                        status, doc = client.request("GET", "/healthz")
+                        if int(doc.get("version", -1)) >= version:
+                            break
+                    except Exception:
+                        pass
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"replica {index} did not reach version {version}"
+                        )
+                    time.sleep(poll)
+            finally:
+                client.close()

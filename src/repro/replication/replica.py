@@ -1,0 +1,318 @@
+"""The replica side: a read-only service fed by the writer's commit log.
+
+A replica process runs the same HTTP surface as a standalone server —
+``GET /kappa|/community|/hierarchy|/templates|/healthz|/stats`` — over
+its own warm :class:`DynamicTriangleKCore`, but its state only ever
+changes by **folding** the writer's commit records, in order.  Folding
+reuses the exact :meth:`ServiceState.apply_edits
+<repro.service.state.ServiceState.apply_edits>` path with the strategy
+the writer resolved, so a replica performs the same deterministic
+mutations and must land on the same graph version; any mismatch raises
+:class:`~repro.replication.frames.ReplicationDivergenceError` and forces
+a snapshot resync instead of serving silently wrong answers.
+
+Consistency contract (documented in docs/SERVICE.md):
+
+* every answer carries ``answered_at_version`` — the replica's folded
+  version at answer time;
+* per connection, ``answered_at_version`` is **monotonic** (folds only
+  advance the version, and the serial dispatcher orders reads);
+* a read carrying ``min_version=V`` parks on the server's
+  :class:`~repro.service.server.VersionGate` until the replication tail
+  folds version ``V`` (bounded by ``fence_timeout``, then 503
+  ``stale_replica`` + ``Retry-After``) — this is what gives clients
+  read-your-writes through the router;
+* ``POST /edits`` is refused with 403 ``read_only`` — only the writer
+  mutates.
+
+When the writer dies, the replica keeps answering from its last folded
+state (stamped, so staleness is visible) and retries the feed connection
+with bounded exponential backoff until the writer returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import traceback
+from typing import Dict, Optional
+
+from ..core.dynamic import DynamicTriangleKCore
+from ..graph.undirected import Graph
+from ..service.protocol import ERR_READ_ONLY, ServiceError
+from ..service.server import ServiceServer
+from ..service.state import ServiceState
+from ..testing.editscript import EditOp, EditScript
+from .frames import (
+    KIND_COMMIT,
+    KIND_HELLO,
+    KIND_SNAPSHOT,
+    PROTOCOL_VERSION,
+    CommitRecord,
+    FrameError,
+    ReplicationDivergenceError,
+    encode_frame,
+    read_frame,
+)
+from .hub import REPLICATION_SCHEMA
+
+
+def _baseline_from_payload(payload: dict) -> Graph:
+    """Rebuild the writer's template baseline from a snapshot document."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"malformed baseline payload: {payload!r}")
+    version = payload.get("version")
+    vertices = payload.get("vertices")
+    edges = payload.get("edges")
+    if (
+        not isinstance(version, int)
+        or version < 0
+        or not isinstance(vertices, list)
+        or not isinstance(edges, list)
+    ):
+        raise ValueError(f"malformed baseline payload: {payload!r}")
+    graph = Graph(vertices=vertices)
+    for row in edges:
+        if not isinstance(row, (list, tuple)) or len(row) != 2:
+            raise ValueError(f"malformed baseline edge row: {row!r}")
+        graph.add_edge(row[0], row[1])
+    graph.restore_version(version)
+    return graph
+
+
+class ReplicaState(ServiceState):
+    """Read-only :class:`ServiceState` whose writes are writer folds.
+
+    Starts empty and uninitialized; :meth:`install_snapshot` swaps in the
+    writer's state wholesale, :meth:`fold` advances it one commit record
+    at a time.  ``POST /edits`` through the public :meth:`apply_edits`
+    is refused with 403 ``read_only``.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(Graph(), **kwargs)
+        self.role = "replica"
+        #: Has a snapshot ever been installed?  Until then reads answer
+        #: over the empty placeholder graph (version 0).
+        self.initialized = False
+        #: Is the feed connection to the writer currently up?
+        self.writer_connected = False
+        self.folds = 0
+        self.snapshots_installed = 0
+        #: Typed replication fault counters (FrameError reasons plus
+        #: ``divergence``) — corruption is visible, never silent.
+        self.faults: Dict[str, int] = {}
+        self.last_fault: Optional[str] = None
+
+    # -------------------------------------------------------------- #
+    # the read-only gate
+    # -------------------------------------------------------------- #
+
+    def apply_edits(self, script: EditScript, *, strategy=None) -> dict:
+        raise ServiceError(
+            403,
+            ERR_READ_ONLY,
+            "this server is a read replica; send edits to the writer "
+            "(or through the router)",
+        )
+
+    # -------------------------------------------------------------- #
+    # replication entry points (called by the feed tail)
+    # -------------------------------------------------------------- #
+
+    def note_fault(self, reason: str, message: str) -> None:
+        self.faults[reason] = self.faults.get(reason, 0) + 1
+        self.last_fault = f"[{reason}] {message}"
+
+    def install_snapshot(self, document: dict) -> int:
+        """Adopt a full writer snapshot; returns the installed version."""
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != REPLICATION_SCHEMA
+        ):
+            raise ValueError(
+                f"not a {REPLICATION_SCHEMA} snapshot document: "
+                f"{document.get('schema') if isinstance(document, dict) else document!r}"
+            )
+        maintainer = DynamicTriangleKCore.from_snapshot(document["state"])
+        baseline = _baseline_from_payload(document.get("baseline"))
+        with self._write_lock:
+            self.maintainer = maintainer
+            self.baseline = baseline
+            self.baseline_version = baseline.version
+            # Derived caches were materialized against the old graph
+            # object; version tags alone cannot be trusted across a
+            # wholesale swap.
+            self._index_cache = None
+            self._hierarchy_cache = None
+            self._template_cache = {}
+            self.initialized = True
+            self.snapshots_installed += 1
+        return self.version
+
+    def fold(self, record: CommitRecord) -> dict:
+        """Apply one writer commit; divergence is an error, never silent."""
+        if self.version != record.prev_version:
+            raise ReplicationDivergenceError(
+                f"replica is at version {self.version} but the commit "
+                f"transitions {record.prev_version} -> {record.version}"
+            )
+        script = EditScript(
+            ops=[EditOp.from_json_obj(row) for row in record.ops]
+        )
+        # The parent's apply path, with the writer's resolved strategy:
+        # same mutations, same version arithmetic, same kappa repairs.
+        outcome = ServiceState.apply_edits(
+            self, script, strategy=record.strategy
+        )
+        if outcome["version"] != record.version:
+            raise ReplicationDivergenceError(
+                f"fold of commit {record.prev_version} -> {record.version} "
+                f"landed on version {outcome['version']}"
+            )
+        self.folds += 1
+        return outcome
+
+    # -------------------------------------------------------------- #
+    # observability
+    # -------------------------------------------------------------- #
+
+    def health(self, *, draining: bool = False) -> dict:
+        payload = super().health(draining=draining)
+        payload["replication"] = {
+            "initialized": self.initialized,
+            "writer_connected": self.writer_connected,
+            "folds": self.folds,
+            "snapshots_installed": self.snapshots_installed,
+            "faults": dict(self.faults),
+            "last_fault": self.last_fault,
+        }
+        return payload
+
+
+class ReplicaServer(ServiceServer):
+    """A :class:`ServiceServer` over a :class:`ReplicaState`, plus the
+    replication tail task that keeps it fresh.
+
+    The tail connects to the writer's feed port, handshakes with the
+    replica's current version, folds whatever arrives (snapshot first if
+    the writer says so), and releases matured ``min_version`` fences
+    after every fold.  Any feed failure — writer death, truncated or
+    corrupt frame, divergence — is recorded as a typed fault on the
+    state, the connection is dropped, and the tail reconnects with
+    bounded exponential backoff; reads keep being served (stamped) from
+    the last folded version throughout.
+    """
+
+    def __init__(
+        self,
+        state: ReplicaState,
+        *,
+        writer_host: str,
+        writer_port: int,
+        reconnect_min: float = 0.05,
+        reconnect_max: float = 2.0,
+        **kwargs,
+    ) -> None:
+        if not isinstance(state, ReplicaState):
+            raise TypeError(
+                f"ReplicaServer requires a ReplicaState, got {type(state).__name__}"
+            )
+        super().__init__(state, **kwargs)
+        self.writer_host = writer_host
+        self.writer_port = writer_port
+        self.reconnect_min = reconnect_min
+        self.reconnect_max = reconnect_max
+        self._tail_task: Optional[asyncio.Task] = None
+        #: Set once the first snapshot/catch-up completes (tests and the
+        #: CLI wait on this before announcing the replica ready).
+        self.caught_up = asyncio.Event()
+
+    async def start(self) -> None:
+        await super().start()
+        self._tail_task = asyncio.create_task(self._tail_loop())
+
+    async def _tail_loop(self) -> None:
+        state: ReplicaState = self.state
+        backoff = self.reconnect_min
+        while not self._draining:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.writer_host, self.writer_port
+                )
+            except OSError:
+                state.writer_connected = False
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.reconnect_max)
+                continue
+            try:
+                writer.write(
+                    encode_frame(
+                        KIND_HELLO,
+                        {
+                            "protocol": PROTOCOL_VERSION,
+                            "version": state.version,
+                            "initialized": state.initialized,
+                        },
+                    )
+                )
+                await writer.drain()
+                state.writer_connected = True
+                backoff = self.reconnect_min
+                if state.initialized and not self.caught_up.is_set():
+                    # Already inside the writer's log window (reconnect
+                    # at head): no frame may arrive until the next
+                    # commit, but the replica is serving valid state.
+                    self.caught_up.set()
+                while not self._draining:
+                    kind, payload = await read_frame(reader)
+                    if kind == KIND_SNAPSHOT:
+                        state.install_snapshot(payload)
+                    elif kind == KIND_COMMIT:
+                        state.fold(CommitRecord.from_payload(payload))
+                    else:
+                        raise FrameError(
+                            "bad_kind",
+                            f"replica received unexpected frame kind {kind}",
+                        )
+                    # Release matured min_version fences: folds advance
+                    # the version outside the dispatcher.
+                    self.notify_version()
+                    if state.initialized and not self.caught_up.is_set():
+                        self.caught_up.set()
+            except FrameError as error:
+                state.note_fault(error.reason, str(error))
+            except ReplicationDivergenceError as error:
+                state.note_fault("divergence", str(error))
+                # Force a full resync on the next handshake rather than
+                # trusting any locally folded state.
+                state.initialized = False
+            except (ValueError, TypeError) as error:
+                state.note_fault("bad_snapshot", str(error))
+                state.initialized = False
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive
+                traceback.print_exc(file=sys.stderr)
+            finally:
+                state.writer_connected = False
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+            if not self._draining:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.reconnect_max)
+
+    async def drain(self) -> None:
+        self._draining = True
+        if self._tail_task is not None:
+            self._tail_task.cancel()
+            try:
+                await self._tail_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        await super().drain()

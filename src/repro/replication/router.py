@@ -1,0 +1,403 @@
+"""The front router: one address, writes to the writer, reads spread out.
+
+A :class:`RouterServer` is a small asyncio HTTP proxy that gives clients
+a single endpoint over a replicated tier:
+
+* **writes** (``POST /edits``) and ``GET /stats`` always go to the
+  writer — the authoritative state and its metrics;
+* **reads** (``/kappa``, ``/community``, ``/hierarchy``,
+  ``/templates/*``, ``/healthz``) round-robin across the replicas,
+  failing over to the next replica — and finally the writer itself — on
+  connection errors or a 503 ``stale_replica`` fence timeout;
+* ``GET /router/healthz`` is answered locally (backend inventory).
+
+Read-your-writes through the router is the client's ``min_version``
+fence: ``POST /edits`` returns the new authoritative ``version``; the
+client passes it back as ``min_version=V`` on its next read and the
+chosen replica parks the read until its replication tail has folded
+``V`` (or answers 503 ``stale_replica`` after the fence timeout, which
+the router treats as "try another backend").
+
+The router holds per-backend keep-alive connection pools; a pooled
+connection that turns out to be dead is discarded and the request is
+retried once on a fresh connection before the backend is considered
+down for this request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Dict, List, Optional, Tuple
+
+from ..service.protocol import (
+    ERR_STALE,
+    ERR_UPSTREAM,
+    SERVICE_SCHEMA,
+    HttpRequest,
+    HttpResponse,
+    ProtocolError,
+    error_payload,
+    read_http_request,
+    read_http_response,
+    render_http_response,
+)
+
+#: (host, port) of one backend.
+Address = Tuple[str, int]
+
+#: Error payloads the router retries on another backend.
+_FAILOVER_STATUS = 503
+
+
+class _BackendPool:
+    """Keep-alive connection pool for one backend address."""
+
+    def __init__(self, address: Address, *, connect_timeout: float) -> None:
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def acquire(
+        self,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, bool]:
+        """A (reader, writer, was_pooled) triple; raises OSError if down."""
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer, True
+        host, port = self.address
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=self.connect_timeout
+        )
+        return reader, writer, False
+
+    def release(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not writer.is_closing():
+            self._idle.append((reader, writer))
+        else:
+            writer.close()
+
+    def close_all(self) -> None:
+        for _reader, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+class RouterServer:
+    """Single-address front for one writer plus N replicas.
+
+    Duck-types the :class:`~repro.service.server.ServiceServer`
+    lifecycle (``start`` / ``port`` / ``request_shutdown`` /
+    ``serve_forever`` / ``drain``) so :func:`~repro.service.server.run_server`
+    and :class:`~repro.service.server.BackgroundServer`-style harnesses
+    drive it unchanged.
+    """
+
+    def __init__(
+        self,
+        *,
+        writer_addr: Address,
+        replica_addrs: List[Address],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_timeout: float = 5.0,
+        idle_timeout: float = 60.0,
+    ) -> None:
+        self.writer_addr = (writer_addr[0], int(writer_addr[1]))
+        self.replica_addrs = [(h, int(p)) for (h, p) in replica_addrs]
+        self.host = host
+        self._requested_port = port
+        self.connect_timeout = connect_timeout
+        self.idle_timeout = idle_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pools: Dict[Address, _BackendPool] = {}
+        self._rr = 0
+        self._draining = False
+        self._shutdown_requested = asyncio.Event()
+        self._connections: set = set()
+        # Observability: per-backend proxied/failed counters.
+        self.proxied: Dict[str, int] = {}
+        self.failovers = 0
+
+    # -------------------------------------------------------------- #
+    # lifecycle (ServiceServer-compatible)
+    # -------------------------------------------------------------- #
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    def request_shutdown(self) -> None:
+        self._shutdown_requested.set()
+
+    async def serve_forever(self) -> None:
+        await self._shutdown_requested.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        for pool in self._pools.values():
+            pool.close_all()
+
+    # -------------------------------------------------------------- #
+    # routing policy
+    # -------------------------------------------------------------- #
+
+    def _is_write(self, request: HttpRequest) -> bool:
+        return request.method != "GET" or request.path == "/stats"
+
+    def _read_order(self) -> List[Address]:
+        """Replicas starting at the round-robin cursor, writer last."""
+        if not self.replica_addrs:
+            return [self.writer_addr]
+        start = self._rr % len(self.replica_addrs)
+        self._rr += 1
+        rotated = (
+            self.replica_addrs[start:] + self.replica_addrs[:start]
+        )
+        return rotated + [self.writer_addr]
+
+    def _pool(self, address: Address) -> _BackendPool:
+        pool = self._pools.get(address)
+        if pool is None:
+            pool = _BackendPool(address, connect_timeout=self.connect_timeout)
+            self._pools[address] = pool
+        return pool
+
+    # -------------------------------------------------------------- #
+    # proxying
+    # -------------------------------------------------------------- #
+
+    async def _forward_once(
+        self, address: Address, request: HttpRequest
+    ) -> HttpResponse:
+        """Send ``request`` to one backend; one retry on a stale pooled
+        connection, then errors propagate."""
+        pool = self._pool(address)
+        for _attempt in (0, 1):
+            reader, writer, was_pooled = await pool.acquire()
+            try:
+                writer.write(_render_request(address, request))
+                await writer.drain()
+                response = await read_http_response(reader)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ):
+                writer.close()
+                if was_pooled:
+                    continue  # the idle connection had died; retry fresh
+                raise
+            if response.will_close:
+                writer.close()
+            else:
+                pool.release(reader, writer)
+            return response
+        raise ConnectionResetError(f"backend {address} unreachable")
+
+    async def _answer(self, request: HttpRequest) -> Tuple[bytes, bool]:
+        """Route one request; returns (raw response bytes, close?)."""
+        if request.path == "/router/healthz":
+            return (
+                render_http_response(
+                    200,
+                    {
+                        "status": "draining" if self._draining else "ok",
+                        "schema": SERVICE_SCHEMA,
+                        "role": "router",
+                        "writer": list(self.writer_addr),
+                        "replicas": [list(a) for a in self.replica_addrs],
+                        "proxied": dict(self.proxied),
+                        "failovers": self.failovers,
+                    },
+                ),
+                False,
+            )
+        targets = (
+            [self.writer_addr]
+            if self._is_write(request)
+            else self._read_order()
+        )
+        last_error: Optional[str] = None
+        for index, address in enumerate(targets):
+            is_last = index == len(targets) - 1
+            try:
+                response = await self._forward_once(address, request)
+            except (OSError, asyncio.TimeoutError, ProtocolError) as error:
+                last_error = f"{address[0]}:{address[1]}: {error}"
+                if not is_last:
+                    self.failovers += 1
+                continue
+            if (
+                response.status == _FAILOVER_STATUS
+                and not is_last
+                and _error_code(response) == ERR_STALE
+            ):
+                # This replica couldn't reach the fence in time; another
+                # backend (ultimately the writer) may already be there.
+                self.failovers += 1
+                continue
+            key = f"{address[0]}:{address[1]}"
+            self.proxied[key] = self.proxied.get(key, 0) + 1
+            return _stamp_served_by(response, key), False
+        return (
+            render_http_response(
+                502,
+                error_payload(
+                    ERR_UPSTREAM,
+                    "no backend could answer the request"
+                    + (f" (last error: {last_error})" if last_error else ""),
+                ),
+                retry_after=1.0,
+            ),
+            False,
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while not self._draining:
+                try:
+                    request = await asyncio.wait_for(
+                        read_http_request(reader), timeout=self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except ProtocolError as error:
+                    writer.write(
+                        render_http_response(
+                            error.status,
+                            error_payload(error.code, error.message),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if request is None:
+                    break
+                keep_alive = not request.wants_close
+                body, close_after = await self._answer(request)
+                try:
+                    writer.write(body)
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if close_after or not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+def _render_request(address: Address, request: HttpRequest) -> bytes:
+    """Re-serialize a parsed request for the backend leg."""
+    host, port = address
+    lines = [
+        f"{request.method} {request.target or request.path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Connection: keep-alive",
+    ]
+    content_type = request.headers.get("content-type")
+    if content_type:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(request.body)}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + request.body
+
+
+def _error_code(response: HttpResponse) -> Optional[str]:
+    """The ``error.code`` of a JSON error body, if any."""
+    import json
+
+    try:
+        document = json.loads(response.body.decode("utf-8"))
+        return document["error"]["code"]
+    except Exception:
+        return None
+
+
+def _stamp_served_by(response: HttpResponse, backend: str) -> bytes:
+    """Re-render a backend response with an ``X-Served-By`` header."""
+    import json
+
+    try:
+        payload = json.loads(response.body.decode("utf-8"))
+    except Exception:
+        payload = None
+    if isinstance(payload, dict):
+        retry_after = response.header("retry-after")
+        return render_http_response(
+            response.status,
+            payload,
+            keep_alive=not response.will_close,
+            retry_after=float(retry_after) if retry_after else None,
+            extra_headers=(("X-Served-By", backend),),
+        )
+    # Non-JSON body (shouldn't happen with this service): pass through.
+    head = (
+        f"HTTP/1.1 {response.status} proxied\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        f"Connection: keep-alive\r\n"
+        f"X-Served-By: {backend}\r\n\r\n"
+    ).encode("latin-1")
+    return head + response.body
+
+
+async def _run_router_async(
+    router: RouterServer, *, announce=None, install_signals: bool = True
+) -> None:
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, router.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(signum, lambda *_args: router.request_shutdown())
+    await router.start()
+    if announce is not None:
+        announce(router)
+    await router.serve_forever()
+
+
+def run_router(router: RouterServer, *, announce=None) -> None:
+    """Serve the router until SIGTERM/SIGINT, then drain and return."""
+    asyncio.run(
+        _run_router_async(router, announce=announce, install_signals=True)
+    )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import ReproError
@@ -87,7 +88,24 @@ class ServiceClient:
         How many times to transparently reconnect-and-retry when the
         server closed a kept-alive connection between requests (a normal
         hazard of HTTP keep-alive, not an error).  Only connection-level
-        failures are retried — HTTP error *responses* never are.
+        failures are retried — HTTP error *responses* never are, except
+        through the explicit backoff knobs below.
+    backoff_retries:
+        How many times to retry a request rejected with a *transient*
+        backpressure response (503 with code ``overloaded`` or
+        ``timed_out`` by default — see ``backoff_codes``) before
+        propagating :class:`ServiceOverloadError`.  Each retry sleeps
+        the server's ``Retry-After`` when one was sent, otherwise a
+        bounded exponential delay (``backoff_base`` doubling up to
+        ``backoff_max``).  Default 0: fail fast, exactly the pre-backoff
+        behaviour.
+    backoff_base / backoff_max:
+        First and largest exponential delay in seconds.
+    backoff_codes:
+        Error codes eligible for backoff.  429 ``rate_limited`` is
+        deliberately not included by default — a rate-limited caller
+        retrying in a tight loop is the problem, not the cure; opt in
+        explicitly if a shared bucket makes retries appropriate.
     """
 
     def __init__(
@@ -97,11 +115,37 @@ class ServiceClient:
         *,
         timeout: float = 30.0,
         retries: int = 1,
+        backoff_retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_codes: Tuple[str, ...] = ("overloaded", "timed_out"),
     ) -> None:
+        if backoff_retries < 0:
+            raise ValueError(
+                f"backoff_retries must be >= 0, got {backoff_retries}"
+            )
+        if backoff_base <= 0 or backoff_max < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_max, got "
+                f"{backoff_base!r}/{backoff_max!r}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self.backoff_retries = backoff_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.backoff_codes = tuple(backoff_codes)
+        #: Highest ``version`` seen in any response — pass it back as
+        #: ``min_version`` on reads for read-your-writes through a
+        #: router/replica tier.
+        self.last_version = 0
+        #: Sleeps performed by the backoff loop (seconds, appended per
+        #: retry) — observability for tests and load generators.
+        self.backoff_sleeps: List[float] = []
+        # Injection point so unit tests can run without real sleeping.
+        self._sleep = time.sleep
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
@@ -133,11 +177,48 @@ class ServiceClient:
         *,
         body: Optional[Dict[str, object]] = None,
     ) -> Tuple[int, Dict[str, object]]:
-        """One raw exchange; returns ``(status, decoded JSON payload)``.
+        """One exchange with transient-backpressure backoff; returns
+        ``(status, decoded JSON payload)``.
 
         Escape hatch for endpoints the typed methods don't cover (and
-        the conformance tests' way of hitting malformed routes).
+        the conformance tests' way of hitting malformed routes).  When
+        ``backoff_retries`` is 0 (default) this is a single exchange;
+        otherwise 503 ``overloaded``/``timed_out`` rejections (see
+        ``backoff_codes``) are retried with bounded exponential delays,
+        honouring the server's ``Retry-After`` when present.
         """
+        attempts = self.backoff_retries + 1
+        delay = self.backoff_base
+        for attempt in range(attempts):
+            try:
+                return self._exchange(method, path, body=body)
+            except ServiceOverloadError as error:
+                if (
+                    attempt == attempts - 1
+                    or error.code not in self.backoff_codes
+                ):
+                    raise
+                # The server's own estimate wins; otherwise back off
+                # exponentially, never beyond backoff_max per attempt.
+                wait = (
+                    error.retry_after
+                    if error.retry_after is not None
+                    else delay
+                )
+                wait = min(wait, self.backoff_max)
+                self.backoff_sleeps.append(wait)
+                self._sleep(wait)
+                delay = min(delay * 2, self.backoff_max)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, object]]:
+        """One raw request/response cycle (connection retries only)."""
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
         attempts = self.retries + 1
@@ -186,17 +267,22 @@ class ServiceClient:
             raise ServiceClientError(
                 response.status, "bad_payload", "expected a JSON object body"
             )
+        seen = document.get("version")
+        if isinstance(seen, int) and seen > self.last_version:
+            self.last_version = seen
         return response.status, document
 
-    def _get(self, path: str) -> Dict[str, object]:
-        return self.request("GET", path)[1]
+    def _get(
+        self, path: str, *, min_version: Optional[int] = None
+    ) -> Dict[str, object]:
+        return self.request("GET", _fenced(path, min_version))[1]
 
     # ------------------------------------------------------------------ #
     # typed endpoints
     # ------------------------------------------------------------------ #
 
-    def healthz(self) -> HealthInfo:
-        doc = self._get("/healthz")
+    def healthz(self, *, min_version: Optional[int] = None) -> HealthInfo:
+        doc = self._get("/healthz", min_version=min_version)
         return HealthInfo(
             status=str(doc["status"]),
             version=int(doc["version"]),
@@ -207,8 +293,12 @@ class ServiceClient:
             draining=bool(doc.get("draining", False)),
         )
 
-    def kappa(self, u: object, v: object) -> KappaAnswer:
-        doc = self._get(f"/kappa?u={_quote(u)}&v={_quote(v)}")
+    def kappa(
+        self, u: object, v: object, *, min_version: Optional[int] = None
+    ) -> KappaAnswer:
+        doc = self._get(
+            f"/kappa?u={_quote(u)}&v={_quote(v)}", min_version=min_version
+        )
         return KappaAnswer(
             u=doc["u"],
             v=doc["v"],
@@ -217,12 +307,16 @@ class ServiceClient:
         )
 
     def community(
-        self, vertex: object, k: Optional[int] = None
+        self,
+        vertex: object,
+        k: Optional[int] = None,
+        *,
+        min_version: Optional[int] = None,
     ) -> CommunityAnswer:
         path = f"/community?vertex={_quote(vertex)}"
         if k is not None:
             path += f"&k={int(k)}"
-        doc = self._get(path)
+        doc = self._get(path, min_version=min_version)
         return CommunityAnswer(
             vertex=doc["vertex"],
             level=int(doc["level"]),
@@ -232,8 +326,8 @@ class ServiceClient:
             answered_at_version=doc.get("answered_at_version"),
         )
 
-    def hierarchy(self) -> HierarchyAnswer:
-        doc = self._get("/hierarchy")
+    def hierarchy(self, *, min_version: Optional[int] = None) -> HierarchyAnswer:
+        doc = self._get("/hierarchy", min_version=min_version)
         return HierarchyAnswer(
             version=int(doc["version"]),
             max_level=int(doc["max_level"]),
@@ -241,11 +335,17 @@ class ServiceClient:
             degraded=bool(doc.get("degraded", False)),
         )
 
-    def templates(self, name: str, *, top: Optional[int] = None) -> TemplateAnswer:
+    def templates(
+        self,
+        name: str,
+        *,
+        top: Optional[int] = None,
+        min_version: Optional[int] = None,
+    ) -> TemplateAnswer:
         path = f"/templates/{name}"
         if top is not None:
             path += f"?top={int(top)}"
-        doc = self._get(path)
+        doc = self._get(path, min_version=min_version)
         return TemplateAnswer(
             pattern=str(doc["pattern"]),
             version=int(doc["version"]),
@@ -294,6 +394,14 @@ def _quote(token: object) -> str:
     from urllib.parse import quote
 
     return quote(str(token), safe="")
+
+
+def _fenced(path: str, min_version: Optional[int]) -> str:
+    """Append a ``min_version`` read fence to a request path."""
+    if min_version is None:
+        return path
+    separator = "&" if "?" in path else "?"
+    return f"{path}{separator}min_version={int(min_version)}"
 
 
 def _float_or_none(raw: Optional[str]) -> Optional[float]:

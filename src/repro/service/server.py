@@ -46,10 +46,12 @@ from typing import Dict, Optional, Tuple
 from ..graph.undirected import Graph
 from .handlers import RequestContext, route
 from .protocol import (
+    ERR_BAD_REQUEST,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_RATE_LIMITED,
     ERR_SHUTTING_DOWN,
+    ERR_STALE,
     ERR_TIMED_OUT,
     HttpRequest,
     ProtocolError,
@@ -62,6 +64,60 @@ from .state import ServiceState, TokenBucket
 
 #: How many distinct client buckets to keep before pruning the idlest.
 _MAX_CLIENT_BUCKETS = 4096
+
+
+class VersionGate:
+    """Wait-for-version primitive behind ``min_version`` read fences.
+
+    Connection tasks park on :meth:`wait` until the served state reaches
+    a target version; whoever advances the state (the dispatcher after a
+    write, a replica's replication tail after a fold) calls
+    :meth:`notify` with the new version.  Waiting happens *before* a
+    request enters the serial dispatch queue, so a fenced read can never
+    deadlock against the very write that would satisfy it.
+    """
+
+    __slots__ = ("_waiters",)
+
+    def __init__(self) -> None:
+        # [(target_version, future), ...] — resolved with an outcome tag.
+        self._waiters: list = []
+
+    async def wait(self, target: int, *, timeout: Optional[float]) -> str:
+        """Park until ``notify(v >= target)``; returns the outcome tag
+        (``reached`` / ``timeout`` / ``draining``)."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append((target, future))
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            return "timeout"
+        finally:
+            if not future.done():
+                future.cancel()
+            self._waiters = [
+                (t, f) for (t, f) in self._waiters if f is not future
+            ]
+
+    def notify(self, version: int) -> None:
+        """Release every waiter whose target version has been reached."""
+        if not self._waiters:
+            return
+        still_waiting = []
+        for target, future in self._waiters:
+            if target <= version:
+                if not future.done():
+                    future.set_result("reached")
+            else:
+                still_waiting.append((target, future))
+        self._waiters = still_waiting
+
+    def release_all(self, outcome: str = "draining") -> None:
+        """Resolve every waiter with ``outcome`` (server drain)."""
+        for _target, future in self._waiters:
+            if not future.done():
+                future.set_result(outcome)
+        self._waiters = []
 
 
 class ServiceServer:
@@ -84,6 +140,10 @@ class ServiceServer:
     degrade_after:
         Queue depth at which derived reads may serve stale caches;
         ``None`` disables degradation (always rebuild at head version).
+    fence_timeout:
+        How long a read carrying ``min_version=V`` may wait for the
+        served state to reach version ``V`` before being answered 503
+        ``stale_replica`` (the bounded-staleness read fence).
     handler_delay:
         Artificial seconds of dispatcher sleep per request — a **testing
         hook** to make queue pressure reproducible; leave at 0.0.
@@ -101,6 +161,7 @@ class ServiceServer:
         request_timeout: Optional[float] = 10.0,
         idle_timeout: float = 60.0,
         degrade_after: Optional[int] = None,
+        fence_timeout: float = 5.0,
         handler_delay: float = 0.0,
     ) -> None:
         if max_queue < 1:
@@ -120,8 +181,11 @@ class ServiceServer:
         self.request_timeout = request_timeout
         self.idle_timeout = idle_timeout
         self.degrade_after = degrade_after
+        self.fence_timeout = fence_timeout
         self.handler_delay = handler_delay
         self.state.metrics.queue_max = max_queue
+        #: ``min_version`` read-fence support (see docs/SERVICE.md).
+        self.version_gate = VersionGate()
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._queue: "asyncio.Queue[Tuple[HttpRequest, asyncio.Future, float]]" = (
@@ -169,9 +233,23 @@ class ServiceServer:
         await self._shutdown_requested.wait()
         await self.drain()
 
+    def notify_version(self) -> None:
+        """Release read fences matured by an out-of-band state advance.
+
+        The dispatcher calls :meth:`VersionGate.notify` after every
+        handled request; components that advance the state from *outside*
+        the dispatcher — the replication tail folding writer commits into
+        a replica — must call this after each fold.  Must run on the
+        server's event loop.
+        """
+        self.version_gate.notify(self.state.version)
+
     async def drain(self) -> None:
         """Stop accepting, answer everything admitted, stop the dispatcher."""
         self._draining = True
+        # Parked min_version waiters must not outlive the dispatcher;
+        # they are answered 503 shutting_down like any late request.
+        self.version_gate.release_all()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -298,6 +376,59 @@ class ServiceServer:
                     ),
                     False,
                 )
+        raw_fence = request.param("min_version")
+        if raw_fence is not None:
+            try:
+                want = int(raw_fence)
+            except ValueError:
+                want = -1
+            if want < 0:
+                return (
+                    render_http_response(
+                        400,
+                        error_payload(
+                            ERR_BAD_REQUEST,
+                            f"min_version must be a non-negative integer, "
+                            f"got {raw_fence!r}",
+                            version=version,
+                        ),
+                    ),
+                    False,
+                )
+            if self.state.version < want:
+                outcome = await self.version_gate.wait(
+                    want, timeout=self.fence_timeout
+                )
+                if outcome == "draining":
+                    metrics.note_rejected("shutting_down")
+                    return (
+                        render_http_response(
+                            503,
+                            error_payload(
+                                ERR_SHUTTING_DOWN,
+                                "server is draining; connection will close",
+                                version=self.state.version,
+                            ),
+                            keep_alive=False,
+                        ),
+                        True,
+                    )
+                if outcome == "timeout":
+                    metrics.note_rejected("stale")
+                    return (
+                        render_http_response(
+                            503,
+                            error_payload(
+                                ERR_STALE,
+                                f"state is at version {self.state.version}, "
+                                f"min_version={want} not reached within "
+                                f"{self.fence_timeout:g}s",
+                                version=self.state.version,
+                            ),
+                            retry_after=self.fence_timeout,
+                        ),
+                        False,
+                    )
         if self._queue.qsize() >= self.max_queue:
             metrics.note_rejected("overloaded")
             return (
@@ -408,6 +539,9 @@ class ServiceServer:
             )
             if not future.cancelled():
                 future.set_result((status, payload, retry_after))
+            # A write may have advanced the state; release matured
+            # min_version fences (no-op when nobody is waiting).
+            self.version_gate.notify(self.state.version)
 
 
 # --------------------------------------------------------------------- #
@@ -464,6 +598,7 @@ class BackgroundServer:
         *,
         state: Optional[ServiceState] = None,
         backend: Optional[str] = None,
+        server_cls: type = None,  # type: ignore[assignment]
         **server_kwargs,
     ) -> None:
         if (graph is None) == (state is None):
@@ -471,6 +606,9 @@ class BackgroundServer:
         self.state = state if state is not None else ServiceState(
             graph, backend=backend
         )
+        #: Server class to instantiate — the replication tier passes its
+        #: WriterServer/ReplicaServer subclasses through here.
+        self._server_cls = server_cls if server_cls is not None else ServiceServer
         self._server_kwargs = server_kwargs
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -496,7 +634,7 @@ class BackgroundServer:
 
     def _thread_main(self) -> None:
         async def main() -> None:
-            server = ServiceServer(self.state, **self._server_kwargs)
+            server = self._server_cls(self.state, **self._server_kwargs)
             try:
                 await server.start()
             except BaseException as error:

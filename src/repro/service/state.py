@@ -245,6 +245,10 @@ class ServiceState:
         )
         self.backend = backend or self.engine.default_backend
         self.edit_strategy = edit_strategy
+        #: Which seat this state occupies in a replicated tier
+        #: (``standalone`` / ``writer`` / ``replica``); echoed in
+        #: ``/healthz`` so operators can tell processes apart.
+        self.role = "standalone"
         #: Startup snapshot, frozen: the "original graph" of Algorithm 4.
         self.baseline = graph.copy()
         self.baseline_version = self.baseline.version
@@ -302,7 +306,9 @@ class ServiceState:
         return {
             "status": "draining" if draining else "ok",
             "schema": SERVICE_SCHEMA,
+            "role": self.role,
             "version": self.version,
+            "answered_at_version": self.version,
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "max_kappa": self.maintainer.max_kappa,
@@ -323,7 +329,15 @@ class ServiceState:
                 ERR_NOT_FOUND,
                 f"edge ({u!r}, {v!r}) is not in the served graph",
             )
-        return {"u": edge[0], "v": edge[1], "kappa": value, "version": self.version}
+        return {
+            "u": edge[0],
+            "v": edge[1],
+            "kappa": value,
+            "version": self.version,
+            # Kappa never degrades: the maintainer is synchronous with the
+            # local write/fold path, so the answer is always at-version.
+            "answered_at_version": self.version,
+        }
 
     def _community_index(self, *, allow_stale: bool) -> Tuple[CommunityIndex, int]:
         """The community index, rebuilt at the current version unless a
@@ -509,6 +523,7 @@ class ServiceState:
                 f"got {strategy!r}",
             )
         with self._write_lock:
+            prev_version = self.version
             maintainer = self.maintainer
             if strategy == "auto":
                 churn = len(script) / max(self.graph.num_edges, 1)
@@ -551,6 +566,8 @@ class ServiceState:
             self._edit_batches += 1
             return {
                 "version": self.version,
+                "prev_version": prev_version,
+                "strategy": strategy,
                 "ops": len(script),
                 "applied": applied,
                 "rejected": rejected,

@@ -1,0 +1,169 @@
+"""Unit tests for ServiceClient's bounded-exponential backpressure backoff.
+
+No sockets: ``_exchange`` (the raw request/response cycle) and
+``_sleep`` are stubbed, so these pin exactly the retry *policy* — which
+rejections are retried, how long each wait is, whose estimate wins
+(server ``Retry-After`` vs the exponential schedule), and where the caps
+bind.
+"""
+
+import pytest
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloadError,
+)
+
+
+def make_client(**kwargs) -> ServiceClient:
+    client = ServiceClient("127.0.0.1", 1, **kwargs)
+    client._sleep = lambda seconds: None  # tests assert via backoff_sleeps
+    return client
+
+
+def overload(code: str, retry_after=None) -> ServiceOverloadError:
+    return ServiceOverloadError(503, code, "busy", retry_after=retry_after)
+
+
+def script_exchanges(client: ServiceClient, outcomes):
+    """Queue exchange outcomes: exceptions raise, anything else returns."""
+    remaining = list(outcomes)
+    calls = []
+
+    def fake_exchange(method, path, *, body=None):
+        calls.append((method, path, body))
+        outcome = remaining.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    client._exchange = fake_exchange
+    return calls
+
+
+class TestBackoffPolicy:
+    def test_default_client_does_not_retry(self):
+        client = make_client()
+        script_exchanges(client, [overload("overloaded", retry_after=0.5)])
+        with pytest.raises(ServiceOverloadError):
+            client.request("GET", "/healthz")
+        assert client.backoff_sleeps == []
+
+    def test_retries_then_succeeds(self):
+        client = make_client(backoff_retries=3)
+        calls = script_exchanges(
+            client,
+            [overload("overloaded"), overload("timed_out"), (200, {"ok": True})],
+        )
+        status, doc = client.request("GET", "/healthz")
+        assert (status, doc) == (200, {"ok": True})
+        assert len(calls) == 3
+        assert len(client.backoff_sleeps) == 2
+
+    def test_exhausted_retries_reraise_the_last_rejection(self):
+        client = make_client(backoff_retries=2)
+        calls = script_exchanges(client, [overload("overloaded")] * 3)
+        with pytest.raises(ServiceOverloadError):
+            client.request("GET", "/healthz")
+        assert len(calls) == 3  # initial attempt + 2 retries
+        assert len(client.backoff_sleeps) == 2  # no sleep after the last
+
+    def test_exponential_schedule_doubles_and_caps(self):
+        client = make_client(
+            backoff_retries=5, backoff_base=0.1, backoff_max=0.45
+        )
+        script_exchanges(client, [overload("overloaded")] * 6)
+        with pytest.raises(ServiceOverloadError):
+            client.request("GET", "/healthz")
+        assert client.backoff_sleeps == pytest.approx(
+            [0.1, 0.2, 0.4, 0.45, 0.45]
+        )
+
+    def test_server_retry_after_wins_over_schedule(self):
+        client = make_client(backoff_retries=2, backoff_base=1.0)
+        script_exchanges(
+            client,
+            [overload("overloaded", retry_after=0.01), (200, {})],
+        )
+        client.request("GET", "/healthz")
+        assert client.backoff_sleeps == pytest.approx([0.01])
+
+    def test_retry_after_is_still_capped(self):
+        client = make_client(backoff_retries=1, backoff_max=0.2)
+        script_exchanges(
+            client,
+            [overload("overloaded", retry_after=60.0), (200, {})],
+        )
+        client.request("GET", "/healthz")
+        assert client.backoff_sleeps == pytest.approx([0.2])
+
+    def test_rate_limited_is_not_retried_by_default(self):
+        # 429 rate_limited means "you, specifically, slow down" — backing
+        # off and retrying would defeat the limiter, so it propagates.
+        client = make_client(backoff_retries=5)
+        calls = script_exchanges(client, [overload("rate_limited")])
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            client.request("GET", "/healthz")
+        assert excinfo.value.code == "rate_limited"
+        assert len(calls) == 1
+        assert client.backoff_sleeps == []
+
+    def test_custom_backoff_codes(self):
+        client = make_client(
+            backoff_retries=1, backoff_codes=("rate_limited",)
+        )
+        script_exchanges(client, [overload("rate_limited"), (200, {})])
+        client.request("GET", "/healthz")
+        assert len(client.backoff_sleeps) == 1
+
+    def test_non_overload_errors_propagate_immediately(self):
+        client = make_client(backoff_retries=5)
+        calls = script_exchanges(
+            client, [ServiceClientError(404, "not_found", "nope")]
+        )
+        with pytest.raises(ServiceClientError):
+            client.request("GET", "/healthz")
+        assert len(calls) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClient("h", 1, backoff_retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient("h", 1, backoff_base=0)
+        with pytest.raises(ValueError):
+            ServiceClient("h", 1, backoff_base=2.0, backoff_max=1.0)
+
+    def test_sleeps_accumulate_across_requests(self):
+        client = make_client(backoff_retries=1)
+        script_exchanges(
+            client,
+            [overload("overloaded"), (200, {}), overload("timed_out"), (200, {})],
+        )
+        client.request("GET", "/a")
+        client.request("GET", "/b")
+        assert len(client.backoff_sleeps) == 2
+
+
+class TestLastVersionTracking:
+    def test_last_version_rides_responses_monotonically(self):
+        client = make_client()
+        script_exchanges(
+            client,
+            [(200, {"version": 4}), (200, {"version": 2}), (200, {"ok": 1})],
+        )
+        # last_version is maintained inside _exchange, which is stubbed
+        # here — emulate what the real exchange does to pin the contract.
+        for _ in range(3):
+            _status, doc = client.request("GET", "/healthz")
+            seen = doc.get("version")
+            if isinstance(seen, int) and seen > client.last_version:
+                client.last_version = seen
+        assert client.last_version == 4
+
+    def test_fenced_paths_compose(self):
+        from repro.service.client import _fenced
+
+        assert _fenced("/healthz", None) == "/healthz"
+        assert _fenced("/healthz", 7) == "/healthz?min_version=7"
+        assert _fenced("/kappa?u=1&v=2", 7) == "/kappa?u=1&v=2&min_version=7"

@@ -1,0 +1,460 @@
+"""Replication conformance: frames, log, snapshots, folds, fences, router.
+
+The acceptance bar of the replicated tier (see docs/SERVICE.md):
+
+* **bit-identical conformance** — after any workload, every replica's
+  folded kappa map equals a from-scratch recompute of the writer's graph
+  at the same version, for all 5 PR 2 workload profiles under both the
+  ``incremental`` and ``batch`` repair strategies;
+* **typed wire format** — corrupt or truncated frames raise
+  :class:`FrameError` with a machine-readable reason, never a silent
+  partial apply;
+* **bounded staleness** — ``min_version`` read fences hold reads until
+  the replica catches up, and the router fails a fenced read over to a
+  backend that can satisfy it;
+* **read-your-writes through the router** — a write's returned version,
+  passed back as ``min_version``, never observes older state.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import triangle_kcore_decomposition
+from repro.core.dynamic import DynamicTriangleKCore
+from repro.graph import Graph, complete_graph
+from repro.replication import (
+    KIND_COMMIT,
+    KIND_HELLO,
+    KIND_SNAPSHOT,
+    CommitRecord,
+    FrameError,
+    LocalCluster,
+    ReplicationLog,
+    WriterState,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
+from repro.replication.frames import HEADER_BYTES
+from repro.service import ServiceClientError
+from repro.testing import generate
+from repro.testing.editscript import EditScript
+
+# All five PR 2 workload profiles (kept literal so a renamed profile
+# breaks loudly here rather than silently shrinking coverage).
+PROFILES = ("adversarial", "churn", "grow_shrink", "triangle_bursts", "uniform")
+
+
+def make_fixture_graph() -> Graph:
+    """K5 + pendant triangle + isolated vertex: all kappa levels 0..3."""
+    g = complete_graph(5)
+    g.add_edge(0, 10)
+    g.add_edge(1, 10)
+    g.add_edge(10, 11)
+    g.add_vertex(99)
+    return g
+
+
+def chunked(script: EditScript, size: int):
+    for start in range(0, len(script), size):
+        yield EditScript(ops=script.ops[start:start + size])
+
+
+# --------------------------------------------------------------------- #
+# frame codec
+# --------------------------------------------------------------------- #
+
+
+def roundtrip(kind: int, payload: dict):
+    raw = encode_frame(kind, payload)
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(run())
+
+
+def read_raw(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(run())
+
+
+class TestFrames:
+    def test_roundtrip_all_kinds(self):
+        for kind in (KIND_HELLO, KIND_SNAPSHOT, KIND_COMMIT):
+            got_kind, payload = roundtrip(kind, {"x": [1, "a"], "kind": kind})
+            assert got_kind == kind
+            assert payload == {"x": [1, "a"], "kind": kind}
+
+    def test_bad_magic_is_typed(self):
+        raw = bytearray(encode_frame(KIND_HELLO, {"v": 1}))
+        raw[0:4] = b"HTTP"
+        with pytest.raises(FrameError) as excinfo:
+            read_raw(bytes(raw))
+        assert excinfo.value.reason == "bad_magic"
+
+    def test_bad_protocol_is_typed(self):
+        raw = bytearray(encode_frame(KIND_HELLO, {"v": 1}))
+        raw[4] = 99
+        with pytest.raises(FrameError) as excinfo:
+            read_raw(bytes(raw))
+        assert excinfo.value.reason == "bad_protocol"
+
+    def test_bad_kind_is_typed(self):
+        raw = bytearray(encode_frame(KIND_HELLO, {"v": 1}))
+        raw[5] = 200
+        with pytest.raises(FrameError) as excinfo:
+            read_raw(bytes(raw))
+        assert excinfo.value.reason == "bad_kind"
+
+    def test_corrupt_payload_fails_crc(self):
+        raw = bytearray(encode_frame(KIND_COMMIT, {"ops": [1, 2, 3]}))
+        raw[-1] ^= 0xFF
+        with pytest.raises(FrameError) as excinfo:
+            read_raw(bytes(raw))
+        assert excinfo.value.reason == "bad_crc"
+
+    def test_truncated_header_and_body_are_typed(self):
+        raw = encode_frame(KIND_COMMIT, {"ops": list(range(50))})
+        for cut in (HEADER_BYTES - 3, len(raw) - 4):
+            with pytest.raises(FrameError) as excinfo:
+                read_raw(raw[:cut])
+            assert excinfo.value.reason == "truncated"
+
+    def test_clean_eof_is_connection_reset_not_frame_error(self):
+        with pytest.raises(ConnectionResetError):
+            read_raw(b"")
+
+    def test_oversized_length_rejected_without_reading_body(self):
+        header = bytearray(encode_frame(KIND_HELLO, {})[:HEADER_BYTES])
+        header[6:10] = (2**31).to_bytes(4, "big")
+        with pytest.raises(FrameError) as excinfo:
+            decode_header(bytes(header))
+        assert excinfo.value.reason == "oversized"
+
+    def test_commit_record_payload_roundtrip(self):
+        record = CommitRecord(
+            prev_version=3, version=7, strategy="batch", ops=[["add", 1, 2]]
+        )
+        assert CommitRecord.from_payload(record.to_payload()) == record
+
+    def test_malformed_commit_record_is_typed(self):
+        with pytest.raises(FrameError) as excinfo:
+            CommitRecord.from_payload({"version": "x"})
+        assert excinfo.value.reason == "bad_json"
+
+
+# --------------------------------------------------------------------- #
+# replication log
+# --------------------------------------------------------------------- #
+
+
+class TestReplicationLog:
+    @staticmethod
+    def record(prev: int, version: int) -> CommitRecord:
+        return CommitRecord(
+            prev_version=prev,
+            version=version,
+            strategy="incremental",
+            ops=[["add", prev, version]],
+        )
+
+    def test_contiguity_enforced(self):
+        log = ReplicationLog(head_version=5)
+        log.append(self.record(5, 8))
+        with pytest.raises(ValueError):
+            log.append(self.record(9, 10))
+
+    def test_tail_and_floor_after_rotation(self):
+        log = ReplicationLog(capacity=2, head_version=0)
+        for i in range(4):
+            log.append(self.record(i, i + 1))
+        # Records 0->1 and 1->2 were rotated out.
+        assert log.floor_version == 2
+        assert log.head_version == 4
+        assert log.tail_since(1) is None  # below the floor: snapshot
+        assert [r.version for r in log.tail_since(2)] == [3, 4]
+        assert log.tail_since(4) == []  # at head: nothing to send
+        assert log.tail_since(7) is None  # ahead of head: divergent
+
+    def test_empty_log_serves_only_head(self):
+        log = ReplicationLog(head_version=12)
+        assert log.can_serve(12)
+        assert not log.can_serve(11)
+        assert log.tail_since(12) == []
+
+    def test_rejected_only_batch_commits_nothing(self):
+        # A batch where every op is rejected leaves the version alone —
+        # it must not enter the log (a zero-progress record would match
+        # tail_since(head) forever and spin the feed tasks).
+        state = WriterState(make_fixture_graph())
+        head = state.log.head_version
+        outcome = state.apply_edits(
+            EditScript.from_json_obj(
+                {"ops": [["add", 0, 0], ["remove", 77, 78]]}
+            ),
+            strategy="incremental",
+        )
+        assert outcome["applied"] == 0
+        assert outcome["version"] == outcome["prev_version"]
+        assert len(state.log) == 0
+        assert state.log.head_version == head
+        assert state.log.tail_since(head) == []
+
+
+# --------------------------------------------------------------------- #
+# snapshot / restore
+# --------------------------------------------------------------------- #
+
+
+class TestSnapshotRestore:
+    def test_snapshot_roundtrips_bit_identical(self):
+        maintainer = DynamicTriangleKCore(make_fixture_graph())
+        maintainer.add_edge(2, 10)
+        document = maintainer.snapshot()
+        # JSON-native end to end (what actually crosses the wire).
+        restored = DynamicTriangleKCore.from_snapshot(
+            json.loads(json.dumps(document))
+        )
+        assert restored.kappa == maintainer.kappa
+        assert restored.graph.version == maintainer.graph.version
+        assert sorted(restored.graph.vertices(), key=repr) == sorted(
+            maintainer.graph.vertices(), key=repr
+        )
+
+    def test_restored_maintainer_keeps_maintaining(self):
+        maintainer = DynamicTriangleKCore(make_fixture_graph())
+        restored = DynamicTriangleKCore.from_snapshot(maintainer.snapshot())
+        maintainer.add_edge(3, 10)
+        restored.add_edge(3, 10)
+        assert restored.kappa == maintainer.kappa
+        assert restored.graph.version == maintainer.graph.version
+
+    def test_malformed_snapshots_rejected(self):
+        good = DynamicTriangleKCore(make_fixture_graph()).snapshot()
+        for corrupt in (
+            {},
+            {**good, "schema": "nope/9"},
+            {**good, "version": -1},
+            {**good, "kappa": [[1, 2]]},
+            {**good, "kappa": [[1, 2, -5]]},
+        ):
+            with pytest.raises(ValueError):
+                DynamicTriangleKCore.from_snapshot(corrupt)
+
+    def test_writer_snapshot_document_includes_baseline(self):
+        state = WriterState(make_fixture_graph())
+        state.apply_edits(EditScript.loads('{"ops": [["add", 50, 51]]}'))
+        document = state.snapshot_document()
+        assert document["version"] == state.version
+        assert document["baseline"]["version"] == state.baseline_version
+        # The baseline is the startup graph, not the edited one.
+        assert ["50", "51"] not in document["baseline"]["edges"]
+        assert [50, 51] not in document["baseline"]["edges"]
+
+
+# --------------------------------------------------------------------- #
+# end-to-end conformance: every profile, both strategies
+# --------------------------------------------------------------------- #
+
+
+class TestReplicationConformance:
+    """Replica state at version v == from-scratch recompute at v."""
+
+    @pytest.mark.parametrize("strategy", ("incremental", "batch"))
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_replica_kappa_bit_identical(self, profile, strategy):
+        script = generate(profile, seed=7, n_ops=120)
+        with LocalCluster(Graph(), replicas=2, with_router=False) as cluster:
+            with cluster.writer_client() as client:
+                version = 0
+                for chunk in chunked(script, 24):
+                    version = client.edits(chunk, strategy=strategy).version
+            cluster.wait_converged(version)
+            oracle = triangle_kcore_decomposition(
+                cluster.writer_state.graph.copy()
+            ).kappa
+            assert cluster.writer_state.version == version
+            for state in cluster.replica_states:
+                assert state.version == version
+                assert state.maintainer.kappa == oracle
+                assert state.maintainer.kappa == cluster.writer_state.maintainer.kappa
+
+    def test_late_joining_replica_catches_up_via_snapshot(self):
+        with LocalCluster(
+            make_fixture_graph(), replicas=1, with_router=False
+        ) as cluster:
+            with cluster.writer_client() as client:
+                script = generate("uniform", seed=3, n_ops=60)
+                version = client.edits(script).version
+            cluster.wait_converged(version)
+            # A brand-new replica joins after the writes happened.
+            cluster._n_replicas += 1
+            cluster._start_replica()
+            cluster.wait_caught_up()
+            cluster.wait_converged(version)
+            newcomer = cluster.replica_states[-1]
+            assert newcomer.version == version
+            assert newcomer.snapshots_installed == 1
+            assert (
+                newcomer.maintainer.kappa
+                == cluster.writer_state.maintainer.kappa
+            )
+
+    def test_rejected_only_batches_do_not_wedge_the_feed(self):
+        # Regression: interleave no-op batches (all ops rejected) with
+        # real ones; the cluster must stay live and converge.
+        with LocalCluster(make_fixture_graph(), replicas=1, with_router=False) as cluster:
+            with cluster.writer_client() as client:
+                version = 0
+                for _ in range(3):
+                    noop = client.edits(
+                        [("add", 5, 5), ("remove", 70, 71)],
+                        strategy="incremental",
+                    )
+                    assert noop.applied == 0
+                    version = client.edits([("add", 2, 10)]).version
+                    version = client.edits([("remove", 2, 10)]).version
+            cluster.wait_converged(version)
+            state = cluster.replica_states[0]
+            assert state.version == version
+            assert (
+                state.maintainer.kappa
+                == cluster.writer_state.maintainer.kappa
+            )
+
+    def test_replica_serves_templates_against_writer_baseline(self):
+        with LocalCluster(make_fixture_graph(), replicas=1) as cluster:
+            with cluster.writer_client() as client:
+                version = client.edits(
+                    [("add", 2, 10), ("add", 3, 10), ("add", 4, 10)]
+                ).version
+            cluster.wait_converged(version)
+            with cluster.replica_client(0) as replica:
+                answer = replica.templates("new_form")
+            with cluster.writer_client() as writer_client:
+                expected = writer_client.templates("new_form")
+            assert answer.baseline_version == expected.baseline_version
+            assert answer.cliques == expected.cliques
+            assert answer.version == expected.version
+
+
+# --------------------------------------------------------------------- #
+# read fences and the router
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(make_fixture_graph(), replicas=2) as running:
+        yield running
+
+
+class TestReadFences:
+    def test_fenced_read_waits_for_fold(self, cluster):
+        with cluster.writer_client() as writer:
+            version = writer.edits([("add", 20, 21), ("add", 21, 22)]).version
+        # Immediately fence a replica read at the new version: the
+        # replica may not have folded yet; the fence must hold the read
+        # until it has (never answer older state).
+        for index in range(2):
+            with cluster.replica_client(index) as replica:
+                status, doc = replica.request(
+                    "GET", f"/healthz?min_version={version}"
+                )
+            assert status == 200
+            assert doc["answered_at_version"] >= version
+
+    def test_unreachable_fence_times_out_with_stale_replica(self):
+        with LocalCluster(
+            make_fixture_graph(),
+            replicas=1,
+            with_router=False,
+            fence_timeout=0.2,
+        ) as small:
+            with small.replica_client(0) as replica:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    replica.request("GET", "/healthz?min_version=999999")
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == "stale_replica"
+            assert excinfo.value.retry_after is not None
+
+    def test_malformed_fence_is_bad_request(self, cluster):
+        with cluster.replica_client(0) as replica:
+            for bad in ("abc", "-3", "1.5"):
+                with pytest.raises(ServiceClientError) as excinfo:
+                    replica.request("GET", f"/healthz?min_version={bad}")
+                assert excinfo.value.status == 400
+
+    def test_replica_refuses_writes(self, cluster):
+        with cluster.replica_client(0) as replica:
+            with pytest.raises(ServiceClientError) as excinfo:
+                replica.edits([("add", 30, 31)])
+        assert excinfo.value.status == 403
+        assert excinfo.value.code == "read_only"
+
+
+class TestRouter:
+    def test_router_spreads_reads_across_replicas(self, cluster):
+        with cluster.router_client() as router:
+            for _ in range(8):
+                router.kappa(0, 1)
+            status, doc = router.request("GET", "/router/healthz")
+        assert status == 200
+        assert doc["role"] == "router"
+        replica_ports = set(cluster.replica_ports)
+        served = {
+            int(addr.rsplit(":", 1)[1]): count
+            for addr, count in doc["proxied"].items()
+        }
+        # Both replicas took reads; the writer served none of them.
+        for port in replica_ports:
+            assert served.get(port, 0) >= 3
+        assert served.get(cluster.writer_port, 0) == 0
+
+    def test_router_forwards_edits_to_writer_and_stamps_backend(self, cluster):
+        with cluster.router_client() as router:
+            before = cluster.writer_state.version
+            outcome = router.edits([("add", 40, 41)])
+            assert outcome.version > before
+            assert cluster.writer_state.version == outcome.version
+            # Reads after the write, fenced at its version, see it.
+            status, doc = router.request(
+                "GET", f"/healthz?min_version={outcome.version}"
+            )
+            assert doc["answered_at_version"] >= outcome.version
+
+    def test_router_read_your_writes_loop(self, cluster):
+        with cluster.router_client() as router:
+            base = 50
+            for step in range(5):
+                outcome = router.edits(
+                    [("add", base + step, base + step + 1)]
+                )
+                status, doc = router.request(
+                    "GET", f"/healthz?min_version={outcome.version}"
+                )
+                assert status == 200
+                assert doc["answered_at_version"] >= outcome.version
+
+    def test_router_healthz_reports_topology(self, cluster):
+        with cluster.router_client() as router:
+            _status, doc = router.request("GET", "/router/healthz")
+        assert doc["writer"] == ["127.0.0.1", cluster.writer_port]
+        assert len(doc["replicas"]) == 2
+
+    def test_router_404_passthrough(self, cluster):
+        with cluster.router_client() as router:
+            with pytest.raises(ServiceClientError) as excinfo:
+                router.request("GET", "/no/such/endpoint")
+        assert excinfo.value.status == 404

@@ -1,0 +1,416 @@
+"""Fault injection for the replication tier.
+
+Two layers of faults:
+
+* **wire faults** — a scripted fake writer feeds a real
+  :class:`ReplicaServer` corrupt-CRC frames, truncated frames, and
+  malformed snapshots; every one must surface as a *typed* fault counter
+  on the replica (never a silent partial apply) and the replica must
+  resync to the correct state on reconnect;
+* **crash faults** — real OS processes (``serve --role ...``) are
+  SIGKILLed: a killed replica rejoins via snapshot + catch-up and
+  converges; a killed writer leaves replicas serving reads stamped with
+  ``answered_at_version`` while writes through the router fail with a
+  typed 502.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.graph import Graph, complete_graph
+from repro.replication import (
+    KIND_COMMIT,
+    KIND_HELLO,
+    KIND_SNAPSHOT,
+    ReplicaServer,
+    ReplicaState,
+    WriterState,
+    encode_frame,
+)
+from repro.replication.frames import HEADER_BYTES, decode_header, decode_payload
+from repro.service import ServiceClientError
+from repro.service.server import BackgroundServer
+from repro.testing.editscript import EditScript
+
+
+def make_fixture_graph() -> Graph:
+    g = complete_graph(5)
+    g.add_edge(0, 10)
+    g.add_edge(1, 10)
+    g.add_edge(10, 11)
+    g.add_vertex(99)
+    return g
+
+
+# --------------------------------------------------------------------- #
+# scripted fake writer
+# --------------------------------------------------------------------- #
+
+
+def recv_exact(conn: socket.socket, n: int) -> bytes:
+    chunks = b""
+    while len(chunks) < n:
+        piece = conn.recv(n - len(chunks))
+        if not piece:
+            raise ConnectionResetError("peer closed")
+        chunks += piece
+    return chunks
+
+
+def read_hello(conn: socket.socket) -> dict:
+    header = recv_exact(conn, HEADER_BYTES)
+    kind, length, crc = decode_header(header)
+    payload = decode_payload(kind, recv_exact(conn, length), crc)
+    assert kind == KIND_HELLO
+    return payload
+
+
+class FakeWriter:
+    """A feed socket whose behaviour is scripted per accepted connection.
+
+    ``handlers[i]`` runs for the i-th connection; extra connections
+    re-run the last handler.  Each handler gets ``(conn, hello)`` after
+    the HELLO frame has been read, and the connection is closed when it
+    returns (unless it returns ``"hold"``, in which case the socket stays
+    open until the fake writer shuts down).
+    """
+
+    def __init__(self, handlers) -> None:
+        self.handlers = list(handlers)
+        self.hellos = []
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(8)
+        self.port = self._server.getsockname()[1]
+        self._held = []
+        self._accepted = 0
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                self._server.settimeout(0.2)
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            index = min(self._accepted, len(self.handlers) - 1)
+            self._accepted += 1
+            try:
+                hello = read_hello(conn)
+                self.hellos.append(hello)
+                verdict = self.handlers[index](conn, hello)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                verdict = None
+            if verdict == "hold":
+                self._held.append(conn)
+            else:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    @property
+    def connections(self) -> int:
+        return self._accepted
+
+    def stop(self) -> None:
+        self._stopping.set()
+        for conn in self._held:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "FakeWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_replica(port: int) -> BackgroundServer:
+    return BackgroundServer(
+        state=ReplicaState(),
+        server_cls=ReplicaServer,
+        writer_host="127.0.0.1",
+        writer_port=port,
+        reconnect_min=0.02,
+        fence_timeout=1.0,
+    ).start()
+
+
+def wait_until(predicate, timeout: float = 20.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out waiting for {message}")
+        time.sleep(0.01)
+
+
+def scripted_writer_material():
+    """A real writer state, its snapshot, and the commits that follow it."""
+    ws = WriterState(make_fixture_graph())
+    snapshot = ws.snapshot_document()
+    ws.apply_edits(EditScript.from_json_obj(
+        {"ops": [["add", 2, 10], ["add", 3, 10]]}
+    ))
+    ws.apply_edits(EditScript.from_json_obj({"ops": [["remove", 10, 11]]}))
+    records = ws.log.tail_since(snapshot["version"])
+    assert records, "fixture edits must produce commit records"
+    return ws, snapshot, records
+
+
+class TestWireFaults:
+    def test_corrupt_crc_is_typed_and_replica_resyncs(self):
+        ws, snapshot, records = scripted_writer_material()
+        good_commits = [encode_frame(KIND_COMMIT, r.to_payload()) for r in records]
+        corrupt = bytearray(good_commits[0])
+        corrupt[-1] ^= 0xFF
+
+        def poisoned(conn, hello):
+            conn.sendall(encode_frame(KIND_SNAPSHOT, snapshot))
+            conn.sendall(bytes(corrupt))
+            # Leave the socket to the replica: it must abort on the CRC
+            # mismatch, not keep reading.
+            return "hold"
+
+        def healthy(conn, hello):
+            # The replica survived the fault initialized at the snapshot
+            # version and asks to resume from there.
+            assert hello["initialized"] is True
+            assert hello["version"] == snapshot["version"]
+            for frame in good_commits:
+                conn.sendall(frame)
+            return "hold"
+
+        with FakeWriter([poisoned, healthy]) as writer:
+            replica = start_replica(writer.port)
+            try:
+                state = replica.state
+                wait_until(
+                    lambda: state.faults.get("bad_crc", 0) >= 1,
+                    message="bad_crc fault",
+                )
+                wait_until(
+                    lambda: state.version == ws.version,
+                    message="post-fault catch-up",
+                )
+                # No silent divergence: the folded index matches the
+                # scripted writer exactly.
+                assert state.maintainer.kappa == ws.maintainer.kappa
+                assert state.faults.get("divergence", 0) == 0
+                assert "[bad_crc]" in state.last_fault
+            finally:
+                replica.stop()
+
+    def test_truncated_stream_is_typed_not_partially_applied(self):
+        ws, snapshot, records = scripted_writer_material()
+        good_commits = [encode_frame(KIND_COMMIT, r.to_payload()) for r in records]
+
+        def truncating(conn, hello):
+            conn.sendall(encode_frame(KIND_SNAPSHOT, snapshot))
+            conn.sendall(good_commits[0])
+            # Half a frame, then a hard close mid-body.
+            conn.sendall(good_commits[1][: HEADER_BYTES + 3])
+            return None
+
+        def healthy(conn, hello):
+            assert hello["initialized"] is True
+            # The replica folded commit 0 but must NOT have applied any
+            # part of the truncated commit 1.
+            assert hello["version"] == records[0].version
+            for frame in good_commits[1:]:
+                conn.sendall(frame)
+            return "hold"
+
+        with FakeWriter([truncating, healthy]) as writer:
+            replica = start_replica(writer.port)
+            try:
+                state = replica.state
+                wait_until(
+                    lambda: state.faults.get("truncated", 0) >= 1,
+                    message="truncated fault",
+                )
+                wait_until(
+                    lambda: state.version == ws.version,
+                    message="post-truncation catch-up",
+                )
+                assert state.maintainer.kappa == ws.maintainer.kappa
+            finally:
+                replica.stop()
+
+    def test_bad_snapshot_is_rejected_then_resynced(self):
+        ws, snapshot, records = scripted_writer_material()
+
+        def bad_snapshot(conn, hello):
+            conn.sendall(
+                encode_frame(KIND_SNAPSHOT, {**snapshot, "schema": "bogus/1"})
+            )
+            return "hold"
+
+        def healthy(conn, hello):
+            # The bad snapshot must not have initialized the replica.
+            assert hello["initialized"] is False
+            conn.sendall(encode_frame(KIND_SNAPSHOT, ws.snapshot_document()))
+            return "hold"
+
+        with FakeWriter([bad_snapshot, healthy]) as writer:
+            replica = start_replica(writer.port)
+            try:
+                state = replica.state
+                wait_until(
+                    lambda: state.faults.get("bad_snapshot", 0) >= 1,
+                    message="bad_snapshot fault",
+                )
+                wait_until(
+                    lambda: state.initialized and state.version == ws.version,
+                    message="recovery snapshot",
+                )
+                assert state.maintainer.kappa == ws.maintainer.kappa
+                assert state.snapshots_installed == 1
+            finally:
+                replica.stop()
+
+    def test_divergent_commit_forces_snapshot_resync(self):
+        ws, snapshot, records = scripted_writer_material()
+
+        def skipping(conn, hello):
+            conn.sendall(encode_frame(KIND_SNAPSHOT, snapshot))
+            # Skip commit 0: the version chain breaks and the replica
+            # must refuse to fold rather than silently diverge.
+            conn.sendall(encode_frame(KIND_COMMIT, records[1].to_payload()))
+            return "hold"
+
+        def healthy(conn, hello):
+            assert hello["initialized"] is False  # divergence dropped it
+            conn.sendall(encode_frame(KIND_SNAPSHOT, ws.snapshot_document()))
+            return "hold"
+
+        with FakeWriter([skipping, healthy]) as writer:
+            replica = start_replica(writer.port)
+            try:
+                state = replica.state
+                wait_until(
+                    lambda: state.faults.get("divergence", 0) >= 1,
+                    message="divergence fault",
+                )
+                wait_until(
+                    lambda: state.initialized and state.version == ws.version,
+                    message="divergence resync",
+                )
+                assert state.maintainer.kappa == ws.maintainer.kappa
+            finally:
+                replica.stop()
+
+    def test_writer_absent_replica_stays_uninitialized(self):
+        # Point a replica at a port nobody listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        replica = start_replica(dead_port)
+        try:
+            from repro.service.client import ServiceClient
+
+            with ServiceClient("127.0.0.1", replica.port) as client:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.kappa(0, 1)
+            # An empty, never-initialized replica answers reads against
+            # its (empty) graph: /kappa 404s on unknown vertices rather
+            # than pretending to know the writer's graph.
+            assert excinfo.value.status in (404, 503)
+            assert replica.state.initialized is False
+        finally:
+            replica.stop()
+
+
+# --------------------------------------------------------------------- #
+# crash faults: real processes, SIGKILL
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="class")
+def crash_cluster():
+    from repro.replication import ReplicatedCluster
+
+    with ReplicatedCluster("karate", replicas=2) as running:
+        yield running
+
+
+@pytest.mark.slow
+class TestCrashFaults:
+    """One process per component; faults are SIGKILL, not polite drains.
+
+    The scenarios share one cluster (subprocess startup is the dominant
+    cost) and run in definition order: replica crash/rejoin first, the
+    unrecoverable writer crash last.
+    """
+
+    def test_killed_replica_rejoins_via_snapshot_and_converges(
+        self, crash_cluster
+    ):
+        cluster = crash_cluster
+        with cluster.writer_client() as writer:
+            version = writer.edits(
+                [("add", 100, 101), ("add", 101, 102), ("add", 100, 102)]
+            ).version
+        cluster.wait_converged(version)
+        cluster.kill_replica(0)
+        # Writes keep landing while the replica is down...
+        with cluster.writer_client() as writer:
+            version = writer.edits([("add", 102, 103), ("add", 103, 100)]).version
+        # ...and the rejoined replica (a fresh empty process) must reach
+        # them via snapshot + catch-up.
+        cluster.restart_replica(0)
+        cluster.wait_converged(version)
+        with cluster.replica_client(0) as replica:
+            _status, doc = replica.request("GET", "/healthz")
+        assert int(doc["version"]) >= version
+        replication = doc["replication"]
+        assert replication["initialized"] is True
+        assert replication["snapshots_installed"] >= 1
+        # Fenced read at the writer's version answers correctly.
+        with cluster.replica_client(0) as replica:
+            answer = replica.kappa(100, 101, min_version=version)
+        assert answer.kappa >= 1
+        assert answer.version >= version
+
+    def test_killed_writer_leaves_replicas_serving_stamped_reads(
+        self, crash_cluster
+    ):
+        cluster = crash_cluster
+        with cluster.writer_client() as writer:
+            version = writer.edits([("add", 104, 100), ("add", 104, 101)]).version
+        cluster.wait_converged(version)
+        cluster.kill_writer()
+        # Replicas answer reads from their warm indexes, stamped with the
+        # version they are at — staleness is visible, not hidden.
+        for index in range(2):
+            with cluster.replica_client(index) as replica:
+                _status, doc = replica.request("GET", "/healthz")
+            assert int(doc["version"]) >= version
+            assert int(doc["answered_at_version"]) >= version
+        # Reads through the router still succeed (they round-robin over
+        # the live replicas)...
+        with cluster.router_client() as router:
+            answer = router.kappa(0, 1)
+        assert answer.version >= version
+        # ...while writes fail with a *typed* upstream error, not a hang.
+        with cluster.router_client() as router:
+            with pytest.raises(ServiceClientError) as excinfo:
+                router.edits([("add", 105, 106)])
+        assert excinfo.value.status == 502
+        assert excinfo.value.code == "upstream_unavailable"

@@ -1,0 +1,102 @@
+"""Property-based replication invariants (hypothesis).
+
+Two consistency properties the tier promises, checked over generated
+edit/read interleavings against one live :class:`LocalCluster`:
+
+* **per-replica version monotonicity** — the ``answered_at_version``
+  stamped on successive answers from one replica never decreases, no
+  matter how reads and writes interleave;
+* **read-your-writes through the router** — a client that writes (the
+  router forwards to the writer) and passes the returned ``version``
+  back as ``min_version`` on its next read never observes older state,
+  whichever backend the router picks.
+
+The cluster is deliberately module-scoped: hypothesis shrinks inputs,
+not infrastructure, and versions only ever grow — so examples compose
+instead of interfering.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import complete_graph
+from repro.replication import LocalCluster
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+# Edits touch a small vertex universe so adds/removes collide often.
+vertex = st.integers(min_value=0, max_value=12)
+edit_op = st.tuples(st.sampled_from(["add", "remove"]), vertex, vertex).map(
+    lambda t: (t[0], t[1], t[2])
+)
+edit_batches = st.lists(
+    st.lists(edit_op, min_size=1, max_size=5), min_size=1, max_size=4
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(complete_graph(4), replicas=2) as running:
+        yield running
+
+
+# Highest answered_at_version seen per replica, across ALL examples —
+# monotonicity must hold for the replica's lifetime, not per example.
+_watermarks = {}
+
+
+@SETTINGS
+@given(batches=edit_batches, reads_between=st.integers(0, 3))
+def test_answered_at_version_is_monotonic_per_replica(
+    cluster, batches, reads_between
+):
+    with cluster.writer_client() as writer:
+        for batch in batches:
+            writer.edits(batch)
+            for index in range(2):
+                with cluster.replica_client(index) as replica:
+                    for _ in range(reads_between + 1):
+                        _status, doc = replica.request("GET", "/healthz")
+                        stamped = int(doc["answered_at_version"])
+                        floor = _watermarks.get(index, 0)
+                        assert stamped >= floor, (
+                            f"replica {index} went backwards: "
+                            f"{stamped} < {floor}"
+                        )
+                        _watermarks[index] = max(floor, stamped)
+
+
+@SETTINGS
+@given(batches=edit_batches)
+def test_read_your_writes_through_router(cluster, batches):
+    with cluster.router_client() as router:
+        for batch in batches:
+            outcome = router.edits(batch)
+            # The write's version, passed back as a fence: whichever
+            # backend answers must already include the write.
+            _status, doc = router.request(
+                "GET", f"/healthz?min_version={outcome.version}"
+            )
+            assert int(doc["answered_at_version"]) >= outcome.version
+            assert int(doc["version"]) >= outcome.version
+            # The client tracks the high-water mark for exactly this.
+            assert router.last_version >= outcome.version
+
+
+@SETTINGS
+@given(batches=edit_batches)
+def test_client_last_version_rides_every_response(cluster, batches):
+    with cluster.writer_client() as writer:
+        for batch in batches:
+            outcome = writer.edits(batch)
+            assert writer.last_version >= outcome.version
+            seen = writer.last_version
+            writer.healthz()
+            assert writer.last_version >= seen
