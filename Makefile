@@ -6,6 +6,7 @@
 #   make bench      regenerate every paper table & figure
 #   make bench-engine  engine dispatch/cache/dynamic-timeline gates
 #   make bench-parallel  parallel backend vs csr speedup gate
+#   make bench-peel    vectorized vs scalar peel executor speedup gate
 #   make bench-batch   batched maintenance vs per-op speedup gate
 #   make bench-service  query-service closed-loop load generator
 #   make bench-replication  read-scaling of 1 vs 2 replica processes
@@ -19,7 +20,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine bench-parallel bench-batch bench-service bench-replication figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel bench-peel bench-batch bench-service bench-replication figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +36,9 @@ bench-engine:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_backend.py
+
+bench-peel:
+	$(PYTHON) benchmarks/bench_peel.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_update.py

@@ -15,8 +15,16 @@ faster than ``csr`` on the largest Table II graph.  The gate is only
 4-worker pool cannot physically beat one core) the speedup is measured
 and recorded with ``"enforced": false`` so the trajectory stays visible.
 
+``--require-cpus N`` makes the skip loud instead of silent: on a host
+with >= N CPUs the gate is enforced unconditionally; below N the run
+exits with status 3 and records a machine-readable ``skip_reason`` in
+``BENCH_parallel.json`` — so a CI leg that *intends* to exercise the
+multi-core gate fails visibly when its runner is smaller than promised,
+instead of green-washing an unexercised gate.
+
 Run stand-alone (no pytest) with ``python benchmarks/bench_parallel_backend.py
-[--smoke]``; ``--smoke`` does one timing pass instead of best-of-3.
+[--smoke] [--require-cpus N]``; ``--smoke`` does one timing pass instead
+of best-of-3.
 """
 
 from __future__ import annotations
@@ -54,12 +62,28 @@ def _best_of(fn, repeats):
     return result, best
 
 
-def _parallel_report(get_dataset, repeats=REPEATS):
+#: Exit status when --require-cpus is not met (distinct from test failure).
+EXIT_SKIPPED = 3
+
+
+def _parallel_report(get_dataset, repeats=REPEATS, require_cpus=None):
     from repro.core import triangle_kcore_decomposition
     from repro.fast import parallel_decomposition
 
     cpu_count = os.cpu_count() or 1
-    enforced = cpu_count >= GATE_WORKERS
+    skip_reason = None
+    if require_cpus is not None:
+        if cpu_count >= require_cpus:
+            enforced = True
+        else:
+            enforced = False
+            skip_reason = (
+                f"gate skipped: host has {cpu_count} CPU(s) but "
+                f"--require-cpus {require_cpus} was requested; run this leg "
+                f"on a >= {require_cpus}-core machine to exercise the gate"
+            )
+    else:
+        enforced = cpu_count >= GATE_WORKERS
     rows = []
     json_rows = []
     for name in BENCH_DATASETS:
@@ -109,11 +133,12 @@ def _parallel_report(get_dataset, repeats=REPEATS):
         rows,
     )
     lines.append("")
-    gate_state = (
-        "ENFORCED"
-        if enforced
-        else f"recorded only (needs >= {GATE_WORKERS} CPUs)"
-    )
+    if enforced:
+        gate_state = "ENFORCED"
+    elif skip_reason is not None:
+        gate_state = f"SKIPPED (--require-cpus {require_cpus} not met)"
+    else:
+        gate_state = f"recorded only (needs >= {GATE_WORKERS} CPUs)"
     lines.append(
         f"gate: parallel@{GATE_WORKERS} >= {MIN_SPEEDUP}x over csr on "
         f"{GATE_DATASET}; host has {cpu_count} CPU(s), gate {gate_state}; "
@@ -143,6 +168,8 @@ def _parallel_report(get_dataset, repeats=REPEATS):
                     "measured_speedup": measured,
                     "enforced": enforced,
                     "cpu_count": cpu_count,
+                    "require_cpus": require_cpus,
+                    "skip_reason": skip_reason,
                 },
                 "rows": json_rows,
             },
@@ -159,7 +186,7 @@ def _parallel_report(get_dataset, repeats=REPEATS):
             f"enumeration must stay >= {MIN_SPEEDUP}x on >= "
             f"{GATE_WORKERS}-CPU hosts"
         )
-    return measured
+    return measured, skip_reason
 
 
 def test_parallel_backend_report(dataset_loader, benchmark):
@@ -175,6 +202,15 @@ def main(argv=None):
         action="store_true",
         help="single timing pass per cell instead of best-of-3",
     )
+    parser.add_argument(
+        "--require-cpus",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enforce the speedup gate when the host has >= N CPUs; below "
+        "N, exit with status 3 and record a skip_reason in "
+        "BENCH_parallel.json instead of silently not enforcing",
+    )
     args = parser.parse_args(argv)
 
     from repro.datasets import load
@@ -186,8 +222,15 @@ def main(argv=None):
             cache[name] = load(name)
         return cache[name]
 
-    measured = _parallel_report(get, repeats=1 if args.smoke else REPEATS)
+    measured, skip_reason = _parallel_report(
+        get,
+        repeats=1 if args.smoke else REPEATS,
+        require_cpus=args.require_cpus,
+    )
     print(f"\nBENCH_parallel.json written; gate speedup {measured:.2f}x")
+    if skip_reason is not None:
+        print(skip_reason)
+        return EXIT_SKIPPED
     return 0
 
 

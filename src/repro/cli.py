@@ -508,19 +508,26 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             "self-test: injecting batch boundary-drop bug "
             "(_trim_batch_region skips one affected-region edge)"
         )
-    if args.backend == "parallel":
+    if args.backend in ("parallel", "parallel-vec"):
         from .testing import DEFAULT_ORACLES
 
         workers = args.workers or 2
+        executor = "vector" if args.backend == "parallel-vec" else "scalar"
         extra_kwargs["oracles"] = DEFAULT_ORACLES + ("parallel",)
         extra_kwargs["oracle_options"] = {
             "parallel_workers": workers,
             "parallel_inprocess": False,
+            "parallel_executor": executor,
         }
         print(
-            f"extra oracle: parallel backend with {workers} worker "
+            f"extra oracle: {args.backend} backend with {workers} worker "
             f"process(es) per checkpoint"
         )
+    elif args.backend == "csr-vec":
+        from .testing import DEFAULT_ORACLES
+
+        extra_kwargs["oracles"] = DEFAULT_ORACLES + ("csr-vec",)
+        print("extra oracle: csr-vec (vectorized peel) per checkpoint")
     start = time.perf_counter()
     result = fuzz(
         seed=args.seed,
@@ -999,10 +1006,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("parallel",),
+        choices=("parallel", "parallel-vec", "csr-vec"),
         default=None,
         help="cross-check this backend as an extra checkpoint oracle "
-        "(parallel: real worker pools, see --workers)",
+        "(parallel/parallel-vec: real worker pools with the scalar/vector "
+        "peel, see --workers; csr-vec: in-process vectorized peel)",
     )
     p.add_argument(
         "--workers",

@@ -164,15 +164,27 @@ def triangle_kcore_decomposition(
     >>> result.kappa_of("B", "C")
     2
     """
-    from ..fast import csr_decomposition, parallel_decomposition, resolve_backend
+    from ..fast import (
+        backend_executor,
+        csr_decomposition,
+        parallel_decomposition,
+        resolve_backend,
+    )
 
     resolved = resolve_backend(
         backend, graph, needs_reference=store_membership, workers=workers
     )
-    if resolved == "csr":
-        return csr_decomposition(graph, counters=counters)
-    if resolved == "parallel":
-        return parallel_decomposition(graph, workers=workers, counters=counters)
+    if resolved in ("csr", "csr-vec"):
+        return csr_decomposition(
+            graph, counters=counters, executor=backend_executor(resolved)
+        )
+    if resolved in ("parallel", "parallel-vec"):
+        return parallel_decomposition(
+            graph,
+            workers=workers,
+            counters=counters,
+            executor=backend_executor(resolved),
+        )
 
     # Steps 1-5: initial upper bounds = triangle supports.  A single pass
     # over the canonical triangle enumeration both counts supports and, when

@@ -7,9 +7,10 @@ baselines, the CLI — routes through an :class:`Engine` instead of calling
 The engine owns three concerns those layers previously re-implemented (or
 simply lacked):
 
-**Backend registry.**  ``"reference"``, ``"csr"``, ``"parallel"`` and
-``"auto"`` dispatch exactly as before (the policy lives in
-:mod:`repro.fast`), plus a ``"dynamic"`` strategy: the first decomposition warms a
+**Backend registry.**  ``"reference"``, ``"csr"``, ``"csr-vec"``,
+``"parallel"``, ``"parallel-vec"`` and ``"auto"`` dispatch exactly as
+before (the composition policy lives in :mod:`repro.fast` — see
+DESIGN.md "Kernel layering"), plus a ``"dynamic"`` strategy: the first decomposition warms a
 :class:`~repro.core.dynamic.DynamicTriangleKCore`, and every subsequent
 call answers by diffing the requested graph against the maintainer's state
 and applying the delta incrementally (Algorithm 2) — the shape snapshot
@@ -86,44 +87,90 @@ def _decompose_reference(
     return result
 
 
+def _decompose_csr_family(
+    engine: "Engine", graph: Graph, store_membership: bool, backend: str
+) -> TriangleKCoreResult:
+    """``"csr"``/``"csr-vec"``: in-process kernels + selected peel executor."""
+    if store_membership:
+        raise ValueError(
+            f"backend={backend!r} does not support membership bookkeeping; "
+            "use backend='reference' (or 'auto')"
+        )
+    from ..fast import backend_executor, csr_decomposition
+
+    counters: Dict[str, int] = {}
+    peel_stats: Dict[str, object] = {}
+    with engine.stats.stage(f"decompose.{backend}"):
+        result = csr_decomposition(
+            graph,
+            counters=counters,
+            executor=backend_executor(backend),
+            peel_stats=peel_stats,
+        )
+    engine.stats.merge_counters(counters)
+    engine.stats.record_peel(peel_stats)
+    return result
+
+
 def _decompose_csr(
     engine: "Engine", graph: Graph, store_membership: bool
 ) -> TriangleKCoreResult:
+    return _decompose_csr_family(engine, graph, store_membership, "csr")
+
+
+def _decompose_csr_vec(
+    engine: "Engine", graph: Graph, store_membership: bool
+) -> TriangleKCoreResult:
+    return _decompose_csr_family(engine, graph, store_membership, "csr-vec")
+
+
+def _decompose_parallel_family(
+    engine: "Engine", graph: Graph, store_membership: bool, backend: str
+) -> TriangleKCoreResult:
+    """``"parallel"``/``"parallel-vec"``: sharded enumeration + peel."""
     if store_membership:
         raise ValueError(
-            "backend='csr' does not support membership bookkeeping; "
+            f"backend={backend!r} does not support membership bookkeeping; "
             "use backend='reference' (or 'auto')"
         )
+    from ..fast import backend_executor
+    from ..fast.parallel import ParallelInfo, parallel_decomposition
+
     counters: Dict[str, int] = {}
-    with engine.stats.stage("decompose.csr"):
-        result = triangle_kcore_decomposition(
-            graph, backend="csr", counters=counters
+    peel_stats: Dict[str, object] = {}
+    info: ParallelInfo = {}
+    with engine.stats.stage(f"decompose.{backend}"):
+        result = parallel_decomposition(
+            graph,
+            workers=engine.workers,
+            counters=counters,
+            info=info,
+            executor=backend_executor(backend),
+            peel_stats=peel_stats,
         )
     engine.stats.merge_counters(counters)
+    engine.stats.record_parallel(
+        info.get("workers", 1),
+        info.get("shard_seconds", []),
+        str(info.get("transport", "inprocess")),
+        int(info.get("bytes_shipped", 0)),
+    )
+    engine.stats.record_peel(peel_stats)
     return result
 
 
 def _decompose_parallel(
     engine: "Engine", graph: Graph, store_membership: bool
 ) -> TriangleKCoreResult:
-    if store_membership:
-        raise ValueError(
-            "backend='parallel' does not support membership bookkeeping; "
-            "use backend='reference' (or 'auto')"
-        )
-    from ..fast.parallel import ParallelInfo, parallel_decomposition
+    return _decompose_parallel_family(engine, graph, store_membership, "parallel")
 
-    counters: Dict[str, int] = {}
-    info: ParallelInfo = {}
-    with engine.stats.stage("decompose.parallel"):
-        result = parallel_decomposition(
-            graph, workers=engine.workers, counters=counters, info=info
-        )
-    engine.stats.merge_counters(counters)
-    engine.stats.record_parallel(
-        info.get("workers", 1), info.get("shard_seconds", [])
+
+def _decompose_parallel_vec(
+    engine: "Engine", graph: Graph, store_membership: bool
+) -> TriangleKCoreResult:
+    return _decompose_parallel_family(
+        engine, graph, store_membership, "parallel-vec"
     )
-    return result
 
 
 def _decompose_dynamic(
@@ -140,7 +187,9 @@ def _decompose_dynamic(
 _BUILTIN_BACKENDS: Dict[str, BackendFn] = {
     "reference": _decompose_reference,
     "csr": _decompose_csr,
+    "csr-vec": _decompose_csr_vec,
     "parallel": _decompose_parallel,
+    "parallel-vec": _decompose_parallel_vec,
     "dynamic": _decompose_dynamic,
 }
 
@@ -662,7 +711,7 @@ class Engine:
 
         ``provider()`` is called on every ``stats_dict()`` and its return
         value is embedded under ``payload[name]``.  Sections are additive
-        on top of the ``repro.engine.stats/3`` schema (every /2 key is
+        on top of the ``repro.engine.stats/4`` schema (every /3 key is
         untouched); a long-lived consumer — the service layer — uses this
         to publish its own telemetry through the one ``--stats`` pipe.
         Reserved schema keys cannot be shadowed.
@@ -674,6 +723,7 @@ class Engine:
             "stage_seconds",
             "batch",
             "parallel",
+            "peel",
             "default_backend",
             "cached_graphs",
             "cached_artifacts",

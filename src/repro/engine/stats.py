@@ -11,23 +11,27 @@ saved a recompute.
 The structured schema (``as_dict``)::
 
     {
-      "schema": "repro.engine.stats/3",
+      "schema": "repro.engine.stats/4",
       "counters":      {"decompositions": ..., "cache_hits": ...,
                         "triangles_enumerated": ..., "edges_peeled": ...,
                         "bucket_decrements": ..., "dynamic_updates": ...},
-      "backend_calls": {"reference": ..., "csr": ..., "parallel": ...,
-                        "dynamic": ...},
+      "backend_calls": {"reference": ..., "csr": ..., "csr-vec": ...,
+                        "parallel": ..., "parallel-vec": ..., "dynamic": ...},
       "stage_seconds": {"decompose.reference": ..., "dynamic.diff": ...},
       "parallel":      {"decompositions": ..., "workers": ...,
-                        "shards": ..., "shard_seconds": [...]},
+                        "shards": ..., "shard_seconds": [...],
+                        "transport": ..., "bytes_shipped": ...},
+      "peel":          {"executor": ..., "runs": ..., "levels": ...,
+                        "batched_decrements": ..., "bound_skips": ...},
       "batch":         {"applies": ..., "region_edges": ...,
                         "settle_iterations": ..., "bound_prune_hits": ...},
     }
 
 Schema history: ``/1`` lacked the ``"parallel"`` section, ``/2`` lacked
-the ``"batch"`` section; every key of each older schema is present
-unchanged in the next, so readers of the old schemas keep working (the
-compatibility test pins this).
+the ``"batch"`` section, ``/3`` lacked the ``"peel"`` section and the
+``"transport"``/``"bytes_shipped"`` keys of ``"parallel"``; every key of
+each older schema is present unchanged in the next, so readers of the old
+schemas keep working (the compatibility test pins this).
 
 Counter values are exact, not sampled: the static counters are derived
 from state Algorithm 1 computes anyway (see the ``counters`` hook on
@@ -43,14 +47,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence
 
 #: Version tag for the structured stats payload; bump on schema changes.
-STATS_SCHEMA = "repro.engine.stats/3"
+STATS_SCHEMA = "repro.engine.stats/4"
 
 
 class EngineStats:
     """Mutable instrumentation accumulator for one engine."""
 
     __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel",
-                 "batch")
+                 "peel", "batch")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
@@ -61,6 +65,11 @@ class EngineStats:
         #: per-shard wall times of the most recent run (the engine's
         #: coarse analogue of ParallelInfo — see repro.fast.parallel).
         self.parallel: Dict[str, object] = {}
+        #: Aggregate view of every kernel-backend peel: executor name of
+        #: the most recent run, cumulative run count, and cumulative
+        #: levels / batched decrements / bound skips (see PeelStats in
+        #: repro.fast.peelers).
+        self.peel: Dict[str, object] = {}
         #: Aggregate view of every batch-strategy dynamic update: apply
         #: count plus cumulative affected-region size, settle worklist
         #: iterations and bound-prune hits (see UpdateStats in
@@ -98,12 +107,20 @@ class EngineStats:
             self.bump(name, value)
 
     def record_parallel(
-        self, workers: int, shard_seconds: Sequence[float]
+        self,
+        workers: int,
+        shard_seconds: Sequence[float],
+        transport: str = "inprocess",
+        bytes_shipped: int = 0,
     ) -> None:
-        """Record one ``"parallel"``-backend decomposition.
+        """Record one ``"parallel"``-family decomposition.
 
-        ``workers``/``shard_seconds`` describe the most recent run (they
-        overwrite); ``decompositions``/``shards`` accumulate.
+        ``workers``/``shard_seconds``/``transport``/``bytes_shipped``
+        describe the most recent run (they overwrite);
+        ``decompositions``/``shards`` accumulate.  ``bytes_shipped`` is
+        what actually crossed the process boundary per worker — the tiny
+        shared-memory attach descriptor under the ``shm`` transport, the
+        whole array payload under ``pickle``, 0 in process.
         """
         shard_list: List[float] = [round(s, 6) for s in shard_seconds]
         self.parallel["decompositions"] = (
@@ -114,6 +131,23 @@ class EngineStats:
             int(self.parallel.get("shards", 0)) + len(shard_list)
         )
         self.parallel["shard_seconds"] = shard_list
+        self.parallel["transport"] = str(transport)
+        self.parallel["bytes_shipped"] = int(bytes_shipped)
+
+    def record_peel(self, peel_stats: Dict[str, object]) -> None:
+        """Fold one peel executor run (PeelStats) into the ``peel`` section.
+
+        ``executor`` reflects the most recent run; ``runs``/``levels``/
+        ``batched_decrements``/``bound_skips`` accumulate.
+        """
+        if not peel_stats:
+            return
+        self.peel["executor"] = str(peel_stats.get("executor", "scalar"))
+        self.peel["runs"] = int(self.peel.get("runs", 0)) + 1
+        for key in ("levels", "batched_decrements", "bound_skips"):
+            self.peel[key] = int(self.peel.get(key, 0)) + int(
+                peel_stats.get(key, 0)
+            )
 
     def record_batch(
         self,
@@ -156,6 +190,7 @@ class EngineStats:
                 for stage, seconds in sorted(self.stage_seconds.items())
             },
             "parallel": dict(self.parallel),
+            "peel": dict(self.peel),
             "batch": dict(sorted(self.batch.items())),
         }
 
@@ -165,6 +200,7 @@ class EngineStats:
         self.backend_calls.clear()
         self.stage_seconds.clear()
         self.parallel.clear()
+        self.peel.clear()
         self.batch.clear()
 
     def __repr__(self) -> str:

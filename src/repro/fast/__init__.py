@@ -1,21 +1,28 @@
-"""``repro.fast`` — flat-array (CSR) kernel backends for the static hot paths.
+"""``repro.fast`` — the layered flat-array (CSR) kernel substrate.
 
 The reference implementations in :mod:`repro.core` and
 :mod:`repro.graph.triangles` run on hash-keyed dicts of canonical edge
 tuples: ideal for dynamic updates and as a cross-validation oracle, but an
 order of magnitude slower than necessary for one-shot static work.  This
-package provides the fast paths behind ``backend="csr"`` and
-``backend="parallel"``:
+package provides the fast paths behind ``backend="csr"``, ``"csr-vec"``,
+``"parallel"`` and ``"parallel-vec"``, organized as four explicit layers
+(DESIGN.md "Kernel layering" has the full composition table):
 
-* :class:`~repro.fast.csr.CSRGraph` — immutable integer-relabeled CSR
-  snapshot of a :class:`~repro.graph.undirected.Graph`;
-* :mod:`~repro.fast.kernels` — triangle counting/supports and the
-  Algorithm 1 peeling kernel over flat int arrays;
-* :mod:`~repro.fast.parallel` — the same enumeration sharded by vertex
-  range over a process pool (the peel stays sequential);
-* this module — decoding kernel output back into the public dict-based
-  API (:class:`~repro.core.triangle_kcore.TriangleKCoreResult` et al.)
-  and the ``backend`` dispatch policy shared by every entry point.
+* **L1 — substrate**: :class:`~repro.fast.csr.CSRGraph`, an immutable
+  integer-relabeled CSR snapshot whose five kernel arrays form a
+  pluggable store — stdlib ``array``, or zero-copy ``memoryview`` slices
+  over a ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.fast.shm.SharedCSR`);
+* **L2 — enumeration**: :mod:`~repro.fast.kernels` — forward-algorithm
+  triangle counting/supports over any substrate, shardable by vertex
+  range (:mod:`~repro.fast.parallel` fans shards over a process pool,
+  shipping only the shared-memory attach descriptor to each worker);
+* **L3 — peel executor**: :mod:`~repro.fast.peelers` — Algorithm 1
+  behind the :class:`~repro.fast.peelers.PeelExecutor` seam: the scalar
+  bucket-queue walk or the vectorized level-synchronous executor;
+* **L4 — dispatch**: this module — decoding kernel output back into the
+  public dict-based API and the ``backend`` policy composing
+  substrate × enumeration × executor for every entry point.
 
 Backends
 --------
@@ -24,23 +31,34 @@ Backends
     The original pure-dict implementations.  Always available; required
     for ``store_membership=True``.
 ``"csr"``
-    Snapshot + kernels from this package.  Produces identical kappa maps
-    (the test suite asserts it property-based against both the reference
-    and networkx), but its processing order may break ties differently —
-    any non-decreasing-kappa order is valid.
+    Snapshot + kernels + **scalar** peel.  Produces identical kappa maps
+    (property-tested against both the reference and networkx), but its
+    processing order may break ties differently — any
+    non-decreasing-kappa order is valid.
+``"csr-vec"``
+    ``"csr"`` with the **vector** (level-synchronous, batched-decrement)
+    peel executor.  Identical kappa; canonical processing order
+    (ascending level, sub-round, edge id).  The single-core win on large
+    graphs when numpy is present (``make bench-peel``); without numpy a
+    bit-identical pure path keeps it available everywhere.
 ``"parallel"``
     ``"csr"`` with the triangle enumeration fanned out over a
-    ``multiprocessing`` pool (:mod:`repro.fast.parallel`).  Bit-identical
-    to ``"csr"`` — same kappa map *and* processing order — for any worker
-    count; pays one CSR pickling per decomposition, so it only wins on
-    large graphs.
+    ``multiprocessing`` pool, the CSR handed to workers zero-copy via
+    shared memory (:mod:`repro.fast.parallel`).  Bit-identical to
+    ``"csr"`` — same kappa map *and* processing order — for any worker
+    count.
+``"parallel-vec"``
+    Sharded enumeration + vector peel: the full composition.
+    Bit-identical to ``"csr-vec"`` for any worker count.
 ``"auto"``
-    ``"parallel"`` for static calls on graphs with at least
+    By measured tiering: ``"parallel-vec"`` (or ``"parallel"`` without
+    numpy) for static calls on graphs with at least
     :data:`AUTO_PARALLEL_MIN_EDGES` edges when more than one CPU is
-    available; else ``"csr"`` at or above :data:`AUTO_MIN_EDGES` edges
-    (snapshot construction overhead dominates below that); else
-    ``"reference"`` — and always ``"reference"`` whenever membership
-    bookkeeping is requested.
+    available; else ``"csr-vec"`` at or above
+    :data:`AUTO_VECTOR_MIN_EDGES` edges when numpy is present; else
+    ``"csr"`` at or above :data:`AUTO_MIN_EDGES` (snapshot construction
+    overhead dominates below that); else ``"reference"`` — and always
+    ``"reference"`` whenever membership bookkeeping is requested.
 """
 
 from __future__ import annotations
@@ -60,13 +78,17 @@ from .parallel import (
     parallel_supports_and_triangles,
     shard_ranges,
 )
+from .peelers import PEEL_EXECUTORS, run_peel
 
 __all__ = [
     "AUTO_MIN_EDGES",
     "AUTO_PARALLEL_MIN_EDGES",
+    "AUTO_VECTOR_MIN_EDGES",
     "BACKENDS",
     "BackendError",
     "CSRGraph",
+    "PEEL_EXECUTORS",
+    "backend_executor",
     "csr_count_triangles",
     "csr_decomposition",
     "csr_triangle_supports",
@@ -78,6 +100,7 @@ __all__ = [
     "parallel_triangle_supports",
     "peel",
     "resolve_backend",
+    "run_peel",
     "shard_ranges",
     "supports_and_triangles",
     "triangle_count",
@@ -86,18 +109,29 @@ __all__ = [
 
 #: Backends this package can resolve (the engine registry adds more, e.g.
 #: ``"dynamic"`` — see :func:`_known_backends`).
-BACKENDS = ("auto", "reference", "csr", "parallel")
+BACKENDS = ("auto", "reference", "csr", "csr-vec", "parallel", "parallel-vec")
 
 #: "auto" switches to the CSR kernels at this edge count; below it the
 #: snapshot build costs more than the dict overhead it saves (measured in
 #: benchmarks/bench_backend_kernels.py — the crossover sits near 10^3 edges).
 AUTO_MIN_EDGES = 1024
 
-#: "auto" escalates from "csr" to "parallel" at this edge count, provided
+#: "auto" escalates the peel from "scalar" to "vector" at this edge count
+#: when numpy is importable (measured in benchmarks/bench_peel.py: the
+#: level-synchronous executor loses below ~2·10^4 edges — too few edges
+#: per frontier to amortize the array passes — and wins 2-3x above it).
+AUTO_VECTOR_MIN_EDGES = 32768
+
+#: "auto" escalates to the sharded enumeration at this edge count, provided
 #: more than one CPU is available (measured in
-#: benchmarks/bench_parallel_backend.py — below it the CSR pickling and
-#: pool spawn cost more than the sharded enumeration saves).
+#: benchmarks/bench_parallel_backend.py — below it the pool spawn costs
+#: more than the sharded enumeration saves).
 AUTO_PARALLEL_MIN_EDGES = 65536
+
+
+def backend_executor(backend: str) -> str:
+    """The peel-executor name a resolved kernel backend composes (L3)."""
+    return "vector" if backend.endswith("-vec") else "scalar"
 
 
 def _known_backends() -> Tuple[str, ...]:
@@ -123,13 +157,15 @@ def resolve_backend(
     needs_reference: bool = False,
     workers: Optional[int] = None,
 ) -> str:
-    """Resolve ``backend`` to ``"reference"``, ``"csr"`` or ``"parallel"``.
+    """Resolve ``backend`` to a concrete kernel composition.
 
-    ``needs_reference`` marks calls the kernels cannot serve (currently:
-    membership bookkeeping); ``"auto"`` then degrades silently while an
-    explicit kernel backend raises, so callers never get an answer computed
-    differently from what they asked for.  ``workers`` feeds the ``"auto"``
-    policy's parallel escalation (``None`` = one per CPU).
+    Returns one of ``"reference"``, ``"csr"``, ``"csr-vec"``,
+    ``"parallel"`` or ``"parallel-vec"``.  ``needs_reference`` marks calls
+    the kernels cannot serve (currently: membership bookkeeping);
+    ``"auto"`` then degrades silently while an explicit kernel backend
+    raises, so callers never get an answer computed differently from what
+    they asked for.  ``workers`` feeds the ``"auto"`` policy's parallel
+    escalation (``None`` = one per CPU).
     """
     if backend not in BACKENDS:
         known = _known_backends()
@@ -148,13 +184,18 @@ def resolve_backend(
                 "bookkeeping; use backend='reference' (or 'auto')"
             )
         return "reference"
-    if backend in ("csr", "parallel"):
+    if backend != "auto":
         return backend
+    from . import csr as _csr_mod
+
+    has_numpy = _csr_mod.np is not None
     if (
         graph.num_edges >= AUTO_PARALLEL_MIN_EDGES
         and effective_workers(workers) > 1
     ):
-        return "parallel"
+        return "parallel-vec" if has_numpy else "parallel"
+    if has_numpy and graph.num_edges >= AUTO_VECTOR_MIN_EDGES:
+        return "csr-vec"
     return "csr" if graph.num_edges >= AUTO_MIN_EDGES else "reference"
 
 
@@ -182,19 +223,26 @@ def _decode_decomposition(
     csr: CSRGraph,
     precomputed: Tuple[List[int], List[int]],
     counters: Optional[Dict[str, int]] = None,
+    *,
+    executor: str = "scalar",
+    peel_stats: Optional[Dict[str, object]] = None,
 ) -> "TriangleKCoreResult":  # noqa: F821
     """Peel ``precomputed`` and decode into the public result type.
 
-    Shared tail of the ``csr`` and ``parallel`` backends: given the
-    ``(supports, tri_edges)`` pair — however it was computed — run the
-    sequential Algorithm 1 peel and translate edge ids back to canonical
+    Shared tail of every kernel backend: given the ``(supports,
+    tri_edges)`` pair — however it was computed — run the selected
+    Algorithm 1 peel executor and translate edge ids back to canonical
     label tuples.  ``counters`` mirrors the instrumentation hook of
-    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`.
+    :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`;
+    ``peel_stats`` receives the executor telemetry
+    (:data:`~repro.fast.peelers.PeelStats`).
     """
     # Imported lazily: repro.core.triangle_kcore dispatches into this module.
     from ..core.triangle_kcore import TriangleKCoreResult
 
-    kappa_by_eid, order_by_eid = peel(csr, precomputed)
+    kappa_by_eid, order_by_eid = peel(
+        csr, precomputed, executor=executor, stats=peel_stats
+    )
     edges = csr.edge_labels()
     kappa: Dict[Edge, int] = dict(zip(edges, kappa_by_eid))
     processing_order: List[Edge] = list(map(edges.__getitem__, order_by_eid))
@@ -208,14 +256,23 @@ def _decode_decomposition(
 
 
 def csr_decomposition(
-    graph: Graph, *, counters: Optional[Dict[str, int]] = None
+    graph: Graph,
+    *,
+    counters: Optional[Dict[str, int]] = None,
+    executor: str = "scalar",
+    peel_stats: Optional[Dict[str, object]] = None,
 ) -> "TriangleKCoreResult":  # noqa: F821
     """Algorithm 1 via the CSR kernels, decoded to the public result type.
 
+    ``executor`` selects the peel executor (L3): ``"scalar"`` is
+    ``backend="csr"``, ``"vector"`` is ``backend="csr-vec"``.
     ``counters`` mirrors the instrumentation hook of
     :func:`repro.core.triangle_kcore.triangle_kcore_decomposition`: the
-    same keys, derived from arrays the kernels build anyway.
+    same keys, derived from arrays the kernels build anyway;
+    ``peel_stats`` receives the executor telemetry.
     """
     csr = CSRGraph.from_graph(graph)
     precomputed = supports_and_triangles(csr)
-    return _decode_decomposition(csr, precomputed, counters)
+    return _decode_decomposition(
+        csr, precomputed, counters, executor=executor, peel_stats=peel_stats
+    )

@@ -24,6 +24,17 @@ Arrays are stored with the stdlib :mod:`array` module (typecode ``q``) so
 the core package keeps zero runtime dependencies; when numpy is importable
 the construction sort is delegated to it.  Both construction paths produce
 bit-identical arrays — the test suite asserts it.
+
+**Array store contract (kernel layer L1).**  The five kernel arrays
+(:data:`CSRGraph.ARRAY_FIELDS`) are a *pluggable store*: any
+buffer-protocol sequence of native int64 values works — stdlib
+``array("q")`` (the default), ``bytes`` snapshots, or ``memoryview``
+slices cast to ``"q"`` over a ``multiprocessing.shared_memory`` segment
+(see :mod:`repro.fast.shm`).  The kernels only ever index, slice, bisect,
+``tolist()`` or ``np.frombuffer`` these fields, all of which every store
+supports, so :meth:`CSRGraph.from_arrays` can rehydrate a snapshot from
+any of them — including zero-copy views into shared memory, which is how
+``parallel`` workers attach to the parent's CSR without unpickling it.
 """
 
 from __future__ import annotations
@@ -102,6 +113,16 @@ class CSRGraph:
         "edge_endpoints",
     )
 
+    #: The kernel arrays forming the pluggable store (module docstring);
+    #: declaration order is the serialization order every transport uses.
+    ARRAY_FIELDS = (
+        "indptr",
+        "indices",
+        "arc_eids",
+        "forward_start",
+        "edge_endpoints",
+    )
+
     def __init__(self) -> None:
         self.num_vertices = 0
         self.num_edges = 0
@@ -132,6 +153,57 @@ class CSRGraph:
         else:
             snap._build_pure(graph)
         return snap
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        num_edges: int,
+        arrays: Dict[str, object],
+        *,
+        labels: "List[Vertex] | None" = None,
+    ) -> "CSRGraph":
+        """Rehydrate a snapshot from a store mapping (zero-copy capable).
+
+        ``arrays`` maps each :data:`ARRAY_FIELDS` name to an int64 store:
+        ``bytes`` are copied into stdlib arrays, while ``array``/
+        ``memoryview`` stores are adopted as-is — a ``memoryview`` over a
+        shared-memory segment makes the snapshot a zero-copy view whose
+        lifetime is the segment's (see :mod:`repro.fast.shm`).  ``labels``
+        is optional: kernels never touch original labels, so transports
+        omit them; label-decoding methods then require id-space use only.
+        """
+        snap = cls()
+        snap.num_vertices = num_vertices
+        snap.num_edges = num_edges
+        if labels is not None:
+            snap.labels = labels
+            snap.index = {label: i for i, label in enumerate(labels)}
+        for field in cls.ARRAY_FIELDS:
+            store = arrays[field]
+            if isinstance(store, (bytes, bytearray)):
+                store = array("q", store)
+            setattr(snap, field, store)
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # array store introspection (kernel layer L1)
+    # ------------------------------------------------------------------ #
+
+    def arrays(self) -> Dict[str, object]:
+        """The kernel-array store, keyed by :data:`ARRAY_FIELDS` name."""
+        return {field: getattr(self, field) for field in self.ARRAY_FIELDS}
+
+    def payload_nbytes(self) -> int:
+        """Total bytes of the kernel arrays — what a copying transport ships."""
+        total = 0
+        for field in self.ARRAY_FIELDS:
+            store = getattr(self, field)
+            if isinstance(store, memoryview):
+                total += store.nbytes
+            else:
+                total += len(store) * store.itemsize
+        return total
 
     def _build_pure(self, graph: Graph) -> None:
         index = self.index

@@ -11,11 +11,13 @@ implementation comes from:
   adjacency suffixes.  Because the merge walks arc positions, the parallel
   ``arc_eids`` array yields the edge ids of all three triangle edges with
   no lookups.
-* :func:`peel` — Algorithm 1 (paper §IV-A) on edge-indexed int arrays:
-  the upper bounds :math:`\\tilde\\kappa` live in a flat list, the bucket
-  queue is the classic ``bucket_start`` / ``edge_pos`` / ``sorted_edges``
-  position-array layout (Batagelj–Zaveršnik style, O(1) pop and
-  decrement), and the "processed" set is a flag array.
+* :func:`peel` — Algorithm 1 (paper §IV-A) on edge-indexed int arrays,
+  dispatched through the :mod:`repro.fast.peelers` executor seam (layer L3):
+  the default ``"scalar"`` executor is the classic ``bucket_start`` /
+  ``edge_pos`` / ``sorted_edges`` position-array bucket queue
+  (Batagelj–Zaveršnik style, O(1) pop and decrement) with a flag-array
+  "processed" set; ``"vector"`` peels level-synchronously with batched
+  numpy decrement passes.
 
 All kernels return plain Python ``list`` objects: at these sizes list
 indexing beats ``array``/numpy scalar indexing inside interpreted loops,
@@ -201,150 +203,36 @@ def supports_and_triangles(
     return supports, tri_edges
 
 
-def _edge_triangle_incidence(
-    supports: List[int], tri_edges: List[int]
-) -> Tuple[List[int], List[int]]:
-    """CSR-style edge → triangle-index incidence via counting sort.
-
-    ``supports[e]`` is exactly the number of triangles incident to ``e``,
-    so the offsets are its prefix sums; no second enumeration pass needed.
-    """
-    m = len(supports)
-    tri_start = [0] * (m + 1)
-    total = 0
-    for e in range(m):
-        tri_start[e] = total
-        total += supports[e]
-    tri_start[m] = total
-    cursor = tri_start[:m]
-    incidence = [0] * total
-    for t in range(0, len(tri_edges), 3):
-        tri = t // 3
-        for e in (tri_edges[t], tri_edges[t + 1], tri_edges[t + 2]):
-            incidence[cursor[e]] = tri
-            cursor[e] += 1
-    return tri_start, incidence
-
-
 def peel(
     csr: CSRGraph,
     precomputed: Optional[Tuple[List[int], List[int]]] = None,
+    *,
+    executor: str = "scalar",
+    stats: Optional[dict] = None,
 ) -> Tuple[List[int], List[int]]:
     """Algorithm 1 over flat arrays: ``(kappa, processing_order)`` by edge id.
 
     ``precomputed`` may carry ``(supports, tri_edges)`` from
     :func:`supports_and_triangles` to skip the enumeration pass.
 
-    The peeling loop mirrors the reference implementation exactly: pop a
-    minimum-bound edge, freeze its bound as :math:`\\kappa`, and for every
-    triangle none of whose edges is processed yet, decrement the bounds of
-    the two other edges when they exceed the frozen value (Theorem 1).
+    The peel itself lives behind the :mod:`repro.fast.peelers` executor seam
+    (kernel layer L3): ``executor="scalar"`` (default) runs the sequential
+    bucket-queue walk that mirrors the reference implementation exactly —
+    pop a minimum-bound edge, freeze its bound as :math:`\\kappa`, and for
+    every triangle none of whose edges is processed yet, decrement the
+    bounds of the two other edges when they exceed the frozen value
+    (Theorem 1) — while ``executor="vector"`` peels level-synchronously
+    with batched decrements (identical kappa, canonical ordering).
+    ``stats`` (when given) receives the executor's
+    :data:`~repro.fast.peelers.PeelStats`.
     """
+    from .peelers import run_peel
+
     supports, tri_edges = (
         precomputed
         if precomputed is not None
         else supports_and_triangles(csr, record_triangles=True)
     )
-    m = csr.num_edges
-    if m == 0:
-        return [], []
-    if sum(supports) != len(tri_edges):
-        raise ValueError(
-            "precomputed supports/triangles disagree; pass the output of "
-            "supports_and_triangles(csr, record_triangles=True)"
-        )
-    np = _csr_mod.np
-    bounds = supports[:]  # mutated in place: the tilde-kappa array
-    if np is not None:
-        # Same layouts as the pure counting sorts below, built vectorized:
-        # stable argsort groups by value with ids ascending inside a group,
-        # which is exactly the order the ascending fill loops produce.
-        sup = np.array(supports, dtype=np.int64)
-        order = np.argsort(sup, kind="stable")
-        sorted_edges = order.tolist()
-        pos = np.empty(m, dtype=np.int64)
-        pos[order] = np.arange(m, dtype=np.int64)
-        edge_pos = pos.tolist()
-        bucket_start = np.concatenate(
-            ([0], np.cumsum(np.bincount(sup)))
-        ).tolist()
-        tri_np = np.array(tri_edges, dtype=np.int64)
-        incidence = (np.argsort(tri_np, kind="stable") // 3).tolist()
-        tri_start = np.concatenate(
-            ([0], np.cumsum(np.bincount(tri_np, minlength=m)))
-        ).tolist()
-    else:
-        tri_start, incidence = _edge_triangle_incidence(supports, tri_edges)
-
-        # Bucket sort by support: sorted_edges holds edge ids grouped by
-        # bound, edge_pos[e] is e's slot, bucket_start[s] the live start of
-        # bucket s.
-        max_bound = max(bounds)
-        counts = [0] * (max_bound + 1)
-        for s in bounds:
-            counts[s] += 1
-        bucket_start = [0] * (max_bound + 2)
-        total = 0
-        for s in range(max_bound + 1):
-            bucket_start[s] = total
-            total += counts[s]
-        bucket_start[max_bound + 1] = total
-        cursor = bucket_start[: max_bound + 1]
-        sorted_edges = [0] * m
-        edge_pos = [0] * m
-        for e in range(m):
-            slot = cursor[bounds[e]]
-            sorted_edges[slot] = e
-            edge_pos[e] = slot
-            cursor[bounds[e]] = slot + 1
-
-    processed = bytearray(m)
-    # Iterating the mutating list is safe: swaps only ever touch positions
-    # strictly after the current one (their buckets start past it).  Once an
-    # edge is popped its bound is frozen — decrements skip triangles with a
-    # processed edge — so after the loop ``bounds`` IS the kappa array.
-    for e in sorted_edges:
-        bound = bounds[e]
-        start_t = tri_start[e]
-        end_t = tri_start[e + 1]
-        if start_t != end_t:
-            for tpos in range(start_t, end_t):
-                base = 3 * incidence[tpos]
-                e0 = tri_edges[base]
-                e1 = tri_edges[base + 1]
-                e2 = tri_edges[base + 2]
-                if e0 == e:
-                    a, b = e1, e2
-                elif e1 == e:
-                    a, b = e0, e2
-                else:
-                    a, b = e0, e1
-                # A triangle is processed once any edge is; skip those.
-                if processed[a] or processed[b]:
-                    continue
-                if bounds[a] > bound:
-                    s = bounds[a]
-                    pos = edge_pos[a]
-                    start = bucket_start[s]
-                    if pos != start:
-                        first = sorted_edges[start]
-                        sorted_edges[start] = a
-                        sorted_edges[pos] = first
-                        edge_pos[a] = start
-                        edge_pos[first] = pos
-                    bucket_start[s] = start + 1
-                    bounds[a] = s - 1
-                if bounds[b] > bound:
-                    s = bounds[b]
-                    pos = edge_pos[b]
-                    start = bucket_start[s]
-                    if pos != start:
-                        first = sorted_edges[start]
-                        sorted_edges[start] = b
-                        sorted_edges[pos] = first
-                        edge_pos[b] = start
-                        edge_pos[first] = pos
-                    bucket_start[s] = start + 1
-                    bounds[b] = s - 1
-        processed[e] = 1
-    return bounds, sorted_edges
+    return run_peel(
+        csr.num_edges, supports, tri_edges, executor=executor, stats=stats
+    )

@@ -1,0 +1,207 @@
+"""Zero-copy shared-memory array store for CSR snapshots (kernel layer L1).
+
+:class:`SharedCSR` publishes the five kernel arrays of a
+:class:`~repro.fast.csr.CSRGraph` into one POSIX shared-memory segment
+(``multiprocessing.shared_memory``) and hands out a tiny pickled
+*descriptor* — segment name, sizes, field offsets — instead of the arrays
+themselves.  A ``parallel`` worker attaches by name and rebuilds the
+snapshot as ``memoryview`` slices cast to int64 directly over the mapped
+segment: no unpickling, no copy, O(descriptor) bytes on the wire no
+matter how large the graph is (the ``parallel.bytes_shipped`` stat
+records exactly that).
+
+Lifetime rules (enforced here, documented in DESIGN.md):
+
+* **The parent owns the segment.**  ``publish`` creates it; the parent
+  must call :meth:`close` + :meth:`unlink` when the pool is done — the
+  pool driver does so in a ``finally`` block, so the segment is removed
+  even when a worker crashes or the pool breaks.
+* **Workers only ever attach.**  :meth:`attach` opens the existing
+  segment and *deregisters* it from the worker's ``resource_tracker``
+  (the tracker would otherwise unlink the parent's segment when the
+  worker exits — and complain about a "leak" it does not own).  Because
+  a worker never owns a segment, a SIGKILL'd worker cannot leak one:
+  ``/dev/shm`` holds only parent-owned segments, and the parent's
+  ``finally`` removes those.
+* **Views pin the mapping.**  An attached snapshot's arrays are views
+  into the segment; the worker keeps the :class:`SharedCSR` alive in a
+  module global for the pool's lifetime and never closes it explicitly —
+  process exit unmaps.  (Closing with exported views raises
+  ``BufferError`` by design: it would invalidate live kernel arrays.)
+
+Segment names carry the :data:`SEGMENT_PREFIX` so tests (and operators)
+can audit ``/dev/shm`` for leaks attributable to this library.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, Optional
+
+from .csr import CSRGraph
+
+try:  # gated: some platforms (or sandboxes) lack POSIX shared memory
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = ["SEGMENT_PREFIX", "SharedCSR", "shared_memory_available"]
+
+#: Prefix of every segment this module creates (audit handle for leak
+#: checks: ``ls /dev/shm/repro-csr-*`` must be empty between runs).
+SEGMENT_PREFIX = "repro-csr-"
+
+#: Shared-memory descriptor: ``{"name", "num_vertices", "num_edges",
+#: "fields": {field: [offset, nbytes]}}`` — the only thing that crosses
+#: the process boundary.
+Descriptor = Dict[str, object]
+
+
+def shared_memory_available() -> bool:
+    """True when the host can create POSIX shared-memory segments."""
+    return _shared_memory is not None
+
+
+def _untrack(segment: object) -> None:
+    """Deregister ``segment`` from this process's resource tracker.
+
+    ``SharedMemory(create=False)`` registers the segment for cleanup even
+    though the attaching process does not own it (fixed only in 3.13's
+    ``track=False``); without this, every worker exit would unlink the
+    parent's live segment out from under its siblings.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+class SharedCSR:
+    """One published (or attached) shared-memory CSR snapshot."""
+
+    __slots__ = ("_shm", "_descriptor", "_owner")
+
+    def __init__(
+        self, shm: object, descriptor: Descriptor, *, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._descriptor = descriptor
+        self._owner = owner
+
+    # ------------------------------------------------------------------ #
+    # parent side
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def publish(cls, csr: CSRGraph) -> "SharedCSR":
+        """Copy ``csr``'s kernel arrays into a fresh named segment.
+
+        One memcpy per field — the last copy those arrays ever undergo;
+        every worker after this reads the same physical pages.  Raises
+        ``OSError`` (or ``ImportError`` via the gate) when the host cannot
+        provide shared memory; callers fall back to the pickle transport.
+        """
+        if _shared_memory is None:
+            raise OSError("multiprocessing.shared_memory is unavailable")
+        fields: Dict[str, object] = {}
+        offset = 0
+        blobs = []
+        for field, store in csr.arrays().items():
+            blob = bytes(memoryview(store))
+            fields[field] = [offset, len(blob)]
+            blobs.append(blob)
+            offset += len(blob)
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        shm = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(offset, 1)
+        )
+        buf = shm.buf
+        for (field, (start, nbytes)), blob in zip(fields.items(), blobs):
+            buf[start : start + nbytes] = blob
+        descriptor: Descriptor = {
+            "name": shm.name,
+            "num_vertices": csr.num_vertices,
+            "num_edges": csr.num_edges,
+            "fields": fields,
+        }
+        return cls(shm, descriptor, owner=True)
+
+    def close(self) -> None:
+        """Unmap the segment from this process (owner side)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            if self._shm is not None:
+                self._shm.unlink()
+            else:  # closed first: reopen by name to unlink
+                seg = _shared_memory.SharedMemory(name=self.name)
+                seg.close()
+                seg.unlink()
+        except FileNotFoundError:
+            pass
+        self._owner = False
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def attach(cls, descriptor: Descriptor) -> "SharedCSR":
+        """Open the parent's segment by name (never creates, never owns)."""
+        if _shared_memory is None:
+            raise OSError("multiprocessing.shared_memory is unavailable")
+        shm = _shared_memory.SharedMemory(
+            name=str(descriptor["name"]), create=False
+        )
+        _untrack(shm)
+        return cls(shm, descriptor, owner=False)
+
+    def csr(self) -> CSRGraph:
+        """Zero-copy :class:`CSRGraph` over the mapped segment.
+
+        Every kernel array is a ``memoryview`` slice cast to int64 —
+        valid for as long as this :class:`SharedCSR` stays open.
+        """
+        view = memoryview(self._shm.buf)
+        fields: Dict[str, object] = self._descriptor["fields"]  # type: ignore[assignment]
+        arrays = {
+            field: view[start : start + nbytes].cast("q")
+            for field, (start, nbytes) in fields.items()
+        }
+        return CSRGraph.from_arrays(
+            int(self._descriptor["num_vertices"]),
+            int(self._descriptor["num_edges"]),
+            arrays,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return str(self._descriptor["name"])
+
+    @property
+    def descriptor(self) -> Descriptor:
+        """The picklable attach token (O(1) in the graph size)."""
+        return self._descriptor
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes held in the segment."""
+        return sum(
+            int(nbytes) for _, nbytes in self._descriptor["fields"].values()  # type: ignore[union-attr]
+        )
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "view"
+        return f"SharedCSR({self.name!r}, {self.nbytes} bytes, {role})"

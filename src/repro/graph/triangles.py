@@ -87,10 +87,12 @@ def count_triangles(graph: Graph, *, backend: str = "auto") -> int:
         resolve_backend,
     )
 
+    # Counting never peels, so the -vec compositions (which differ only in
+    # peel executor) collapse to their base enumeration family here.
     resolved = resolve_backend(backend, graph)
-    if resolved == "parallel":
+    if resolved in ("parallel", "parallel-vec"):
         return parallel_count_triangles(graph)
-    if resolved == "csr":
+    if resolved in ("csr", "csr-vec"):
         return csr_count_triangles(graph)
     return sum(1 for _ in enumerate_triangles(graph))
 
@@ -113,10 +115,11 @@ def triangle_supports(graph: Graph, *, backend: str = "auto") -> Dict[Edge, int]
         resolve_backend,
     )
 
+    # Supports never peel either — same -vec → base-family collapse.
     resolved = resolve_backend(backend, graph)
-    if resolved == "parallel":
+    if resolved in ("parallel", "parallel-vec"):
         return parallel_triangle_supports(graph)
-    if resolved == "csr":
+    if resolved in ("csr", "csr-vec"):
         return csr_triangle_supports(graph)
     supports: Dict[Edge, int] = {edge: 0 for edge in graph.edges()}
     for a, b, c in enumerate_triangles(graph):

@@ -15,6 +15,11 @@ kappa map against every *checkpoint oracle* registered here:
     networkx's ``k_truss`` (written independently of this library),
     compared through the kappa = truss - 2 correspondence.  Skipped
     automatically when networkx is not importable.
+``csr-vec``
+    The CSR kernels with the **vector** (level-synchronous) peel
+    executor — the same enumeration as ``csr`` but an entirely different
+    Algorithm 1 walk, so it catches executor-specific bugs (batched
+    decrement accounting, bound clamping).  Opt-in.
 ``parallel``
     The sharded enumeration backend (:mod:`repro.fast.parallel`) run on
     the shadow graph.  Opt-in (not in :data:`DEFAULT_ORACLES` — it is
@@ -22,7 +27,9 @@ kappa map against every *checkpoint oracle* registered here:
     when the shard split/merge path itself is under suspicion).  By
     default it runs *in process* (same shard/merge code, no pool spawn)
     so fuzz loops and the shrinker stay fast; pass
-    ``parallel_inprocess=False`` to exercise real worker processes.
+    ``parallel_inprocess=False`` to exercise real worker processes, and
+    ``parallel_executor="vector"`` to compose the vector peel on top of
+    the sharded enumeration (the full ``parallel-vec`` backend).
 ``per_op``
     A second :class:`DynamicTriangleKCore` fed the net edge diff *one op
     at a time* with incremental repairs.  Opt-in, aimed at the batch
@@ -49,7 +56,7 @@ from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
 
 #: Checkpoint oracle names, in the order they are evaluated.
-ORACLE_NAMES = ("recompute", "csr", "networkx", "parallel", "per_op")
+ORACLE_NAMES = ("recompute", "csr", "csr-vec", "networkx", "parallel", "per_op")
 
 #: Default oracle selection ("networkx" degrades to a no-op if unavailable;
 #: "parallel" is opt-in — see the module docstring).
@@ -80,6 +87,7 @@ class CheckpointOracles:
         *,
         parallel_workers: int = 2,
         parallel_inprocess: bool = True,
+        parallel_executor: str = "scalar",
     ) -> None:
         for name in oracles:
             if name not in ORACLE_NAMES:
@@ -93,6 +101,7 @@ class CheckpointOracles:
         self._nx_usable = "networkx" in self._names and networkx_available()
         self._parallel_workers = parallel_workers
         self._parallel_inprocess = parallel_inprocess
+        self._parallel_executor = parallel_executor
         # Private, cache-disabled engine: each oracle must recompute from
         # scratch every checkpoint — serving one oracle's cached artifact
         # to another would collapse their independence.
@@ -120,6 +129,10 @@ class CheckpointOracles:
                 answers[name] = self._engine.decompose(
                     shadow, backend="csr", use_cache=False
                 ).kappa
+            elif name == "csr-vec":
+                answers[name] = self._engine.decompose(
+                    shadow, backend="csr-vec", use_cache=False
+                ).kappa
             elif name == "networkx" and self._nx_usable:
                 from ..baselines.nx_truss import networkx_kappa
 
@@ -131,6 +144,7 @@ class CheckpointOracles:
                     shadow,
                     workers=self._parallel_workers,
                     inprocess=self._parallel_inprocess,
+                    executor=self._parallel_executor,
                 ).kappa
             elif name == "per_op":
                 answers[name] = self._per_op_kappa(shadow)

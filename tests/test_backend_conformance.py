@@ -3,18 +3,22 @@
 The matrix axes:
 
 * **backends** — every entry of the engine registry (``reference``,
-  ``csr``, ``parallel``, ``dynamic``) plus a dummy backend registered at
-  test time through ``Engine.register_backend``, proving third-party
-  entrants ride the same contract;
+  ``csr``, ``csr-vec``, ``parallel``, ``parallel-vec``, ``dynamic``) plus
+  a dummy backend registered at test time through
+  ``Engine.register_backend``, proving third-party entrants ride the same
+  contract (new registry entries join the matrix automatically);
 * **graphs** — the paper's Figure 2/3 examples, cliques, degenerate
   shapes, seeded random graphs, the final state of every committed fuzz
   corpus bundle, and hypothesis-generated graphs.
 
 Asserted per cell: the kappa map equals the reference backend's exactly;
-triangle counts agree across counting backends; membership bookkeeping is
-refused by every backend that cannot provide it (error contract), and the
-``auto`` policy degrades instead of erroring.  Each check runs on a fresh
-cache-disabled engine so no backend can serve another's artifact.
+processing order is bit-identical within each executor family (``csr`` ==
+``parallel``; ``csr-vec`` == ``parallel-vec``, both in process and over a
+real pool with the shared-memory transport); triangle counts agree across
+counting backends; membership bookkeeping is refused by every backend
+that cannot provide it (error contract), and the ``auto`` policy degrades
+instead of erroring.  Each check runs on a fresh cache-disabled engine so
+no backend can serve another's artifact.
 """
 
 from __future__ import annotations
@@ -143,6 +147,58 @@ class TestKappaConformance:
 
 
 # ------------------------------------------------------------------ #
+# executor families: order identity and shared-memory transport rows
+# ------------------------------------------------------------------ #
+
+
+class TestExecutorFamilies:
+    """The -vec composition is its own family with its own order contract.
+
+    Kappa must equal the reference everywhere (covered by the matrix
+    above); processing order must be *bit-identical within a family* —
+    sharded enumeration composed with the same executor cannot change the
+    order — while the two families may legitimately order ties
+    differently.
+    """
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_parallel_vec_bit_identical_to_csr_vec(self, name):
+        graph = fixed_graphs()[name]
+        expected = csr_decomposition(graph, executor="vector")
+        for workers in (2, 3, 7):
+            result = parallel_decomposition(
+                graph, workers=workers, inprocess=True, executor="vector"
+            )
+            assert result.kappa == expected.kappa
+            assert result.processing_order == expected.processing_order
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_vector_order_is_valid_and_kappa_sorted(self, name):
+        graph = fixed_graphs()[name]
+        result = csr_decomposition(graph, executor="vector")
+        assert set(result.processing_order) == set(result.kappa)
+        kappas = [result.kappa[e] for e in result.processing_order]
+        assert kappas == sorted(kappas)  # non-decreasing, like Algorithm 1
+
+    def test_real_pool_shm_transport_rows(self):
+        # One genuine multiprocess run per family over the shared-memory
+        # transport (skipped on hosts without it): the zero-copy substrate
+        # must be invisible in the answers.
+        from repro.fast.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("host lacks multiprocessing.shared_memory")
+        graph = fixed_graphs()["er_medium"]
+        for executor in ("scalar", "vector"):
+            expected = csr_decomposition(graph, executor=executor)
+            result = parallel_decomposition(
+                graph, workers=2, executor=executor, transport="shm"
+            )
+            assert result.kappa == expected.kappa
+            assert result.processing_order == expected.processing_order
+
+
+# ------------------------------------------------------------------ #
 # triangle-count conformance
 # ------------------------------------------------------------------ #
 
@@ -239,5 +295,12 @@ def test_every_backend_agrees_on_random_graphs(graph, workers):
     par = parallel_decomposition(graph, workers=workers, inprocess=True)
     assert par.kappa == expected.kappa
     assert par.processing_order == csr.processing_order
+    vec = csr_decomposition(graph, executor="vector")
+    assert vec.kappa == expected.kappa
+    par_vec = parallel_decomposition(
+        graph, workers=workers, inprocess=True, executor="vector"
+    )
+    assert par_vec.kappa == expected.kappa
+    assert par_vec.processing_order == vec.processing_order
     dyn = Engine(max_cached_graphs=0).decompose(graph, backend="dynamic")
     assert dyn.kappa == expected.kappa

@@ -3,8 +3,9 @@
 Covers the pool edge cases the conformance matrix cannot see from the
 outside: the workers=1 short-circuit (no pool may be constructed), empty
 and unsplittable graphs, worker crashes surfacing as BackendError instead
-of hangs, shard-range arithmetic, deterministic stats counters, the
-stats/3 schema, and the Engine.map_decompose batch API.
+of hangs, shard-range arithmetic (including the hypothesis tiling
+property and the overlap guard), deterministic stats counters, the
+stats/4 schema, and the Engine.map_decompose batch API.
 """
 
 from __future__ import annotations
@@ -26,7 +27,18 @@ from repro.fast import (
     shard_ranges,
 )
 from repro.fast import parallel as parallel_mod
+from repro.fast import csr as csr_mod
 from repro.graph import Graph, complete_graph, erdos_renyi
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+HAS_NUMPY = csr_mod.np is not None
 
 
 def er(seed: int = 0, n: int = 60, p: float = 0.15) -> Graph:
@@ -95,7 +107,13 @@ class TestShortCircuitAndDegenerates:
     def test_workers_1_info_reports_single_shard(self):
         info: dict = {}
         parallel_decomposition(er(seed=5), workers=1, info=info)
-        assert info == {"workers": 1, "shards": 1, "shard_seconds": []}
+        assert info == {
+            "workers": 1,
+            "shards": 1,
+            "shard_seconds": [],
+            "transport": "inprocess",
+            "bytes_shipped": 0,
+        }
 
     def test_single_shard_graph_skips_pool(self, monkeypatch):
         def explode(*args, **kwargs):
@@ -171,6 +189,109 @@ class TestShardRanges:
         assert max(arcs) < total  # the hub shard does not own everything
 
 
+if HAVE_HYPOTHESIS:
+
+    class TestShardTilingProperty:
+        """Hypothesis: shard_ranges tiles [0, n) for any degree distribution.
+
+        The strategy builds adversarial shapes directly from degree
+        sequences — empty vertices, one mega-hub, long paths, duplicate
+        degrees — rather than from uniform random graphs, because the
+        bisect-based cut placement only gets interesting when the arc
+        prefix has plateaus (runs of isolated vertices) and cliffs (hubs).
+        """
+
+        @staticmethod
+        def _graph_from_stubs(stubs):
+            # Half-edge pairing: any even-sum degree-ish sequence becomes
+            # some multigraph; collapse to the simple graph it induces.
+            edges = []
+            flat = [v for v, d in enumerate(stubs) for _ in range(d)]
+            for u, v in zip(flat[::2], flat[1::2]):
+                if u != v:
+                    edges.append((u, v))
+            vertices = range(len(stubs))
+            return Graph(vertices=vertices, edges=edges)
+
+        @given(
+            stubs=st.lists(
+                st.integers(min_value=0, max_value=12), min_size=1, max_size=40
+            ),
+            shards=st.integers(min_value=1, max_value=64),
+        )
+        @settings(max_examples=150, deadline=None)
+        def test_tiles_exactly(self, stubs, shards):
+            csr = CSRGraph.from_graph(self._graph_from_stubs(stubs))
+            ranges = shard_ranges(csr, shards)
+            if csr.num_vertices == 0:
+                assert ranges == []
+                return
+            # Contiguous, disjoint, covering — the exact property the
+            # merge guard re-validates at run time.
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == csr.num_vertices
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+            assert all(lo < hi for lo, hi in ranges)
+            parallel_mod._validate_shard_tiling(csr.num_vertices, ranges)
+
+        @given(
+            stubs=st.lists(
+                st.integers(min_value=0, max_value=8), min_size=3, max_size=30
+            ),
+            shards=st.integers(min_value=2, max_value=16),
+        )
+        @settings(max_examples=100, deadline=None)
+        def test_merged_supports_match_sequential(self, stubs, shards):
+            graph = self._graph_from_stubs(stubs)
+            csr = CSRGraph.from_graph(graph)
+            from repro.fast import supports_and_triangles
+
+            sequential = supports_and_triangles(csr)
+            sharded = parallel_mod.parallel_supports_and_triangles(
+                csr, workers=shards, inprocess=True
+            )
+            assert sharded == sequential
+
+
+class TestMergeGuard:
+    """Overlapping or gapped shard output must refuse to merge."""
+
+    def _outputs(self, csr, shards):
+        return [parallel_mod._shard_inprocess(csr, bounds) for bounds in shards]
+
+    def test_overlapping_shards_raise(self):
+        csr = CSRGraph.from_graph(er(seed=12, n=20))
+        n = csr.num_vertices
+        bad = [(0, n // 2 + 1), (n // 2, n)]  # one-vertex overlap
+        with pytest.raises(BackendError, match="do not tile"):
+            parallel_mod._merge_shards(csr, bad, self._outputs(csr, bad))
+
+    def test_gapped_shards_raise(self):
+        csr = CSRGraph.from_graph(er(seed=13, n=20))
+        n = csr.num_vertices
+        bad = [(0, n // 2 - 1), (n // 2, n)]  # one-vertex gap
+        with pytest.raises(BackendError, match="do not tile"):
+            parallel_mod._merge_shards(csr, bad, self._outputs(csr, bad))
+
+    def test_missing_tail_raises(self):
+        csr = CSRGraph.from_graph(er(seed=14, n=20))
+        n = csr.num_vertices
+        bad = [(0, n - 1)]
+        with pytest.raises(BackendError, match="do not cover"):
+            parallel_mod._merge_shards(csr, bad, self._outputs(csr, bad))
+
+    def test_valid_tiling_passes(self):
+        csr = CSRGraph.from_graph(er(seed=15, n=20))
+        shards = shard_ranges(csr, 3)
+        merged, _ = parallel_mod._merge_shards(
+            csr, shards, self._outputs(csr, shards)
+        )
+        from repro.fast import supports_and_triangles
+
+        assert merged == supports_and_triangles(csr)
+
+
 # ------------------------------------------------------------------ #
 # failure contract
 # ------------------------------------------------------------------ #
@@ -240,22 +361,36 @@ class TestInjectShardMergeBug:
 
 
 class TestAutoPolicy:
+    # Above the parallel threshold "auto" composes the vector executor on
+    # top of the sharded enumeration when numpy is present; the scalar
+    # composition remains the no-numpy answer.
     def test_auto_escalates_on_big_graph_with_workers(self):
         big = SimpleNamespace(num_edges=AUTO_PARALLEL_MIN_EDGES)
-        assert resolve_backend("auto", big, workers=2) == "parallel"
+        expected = "parallel-vec" if HAS_NUMPY else "parallel"
+        assert resolve_backend("auto", big, workers=2) == expected
 
-    def test_auto_stays_csr_below_threshold(self):
+    def test_auto_stays_in_process_below_threshold(self):
         mid = SimpleNamespace(num_edges=AUTO_PARALLEL_MIN_EDGES - 1)
-        assert resolve_backend("auto", mid, workers=2) == "csr"
+        expected = "csr-vec" if HAS_NUMPY else "csr"
+        assert resolve_backend("auto", mid, workers=2) == expected
 
-    def test_auto_stays_csr_at_one_worker(self):
+    def test_auto_stays_in_process_at_one_worker(self):
         big = SimpleNamespace(num_edges=AUTO_PARALLEL_MIN_EDGES * 2)
+        expected = "csr-vec" if HAS_NUMPY else "csr"
+        assert resolve_backend("auto", big, workers=1) == expected
+
+    def test_auto_scalar_composition_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(csr_mod, "np", None)
+        big = SimpleNamespace(num_edges=AUTO_PARALLEL_MIN_EDGES)
+        assert resolve_backend("auto", big, workers=2) == "parallel"
         assert resolve_backend("auto", big, workers=1) == "csr"
 
     def test_engine_resolve_uses_engine_workers(self):
         big = SimpleNamespace(num_edges=AUTO_PARALLEL_MIN_EDGES)
-        assert Engine(workers=4).resolve(None, big) == "parallel"
-        assert Engine(workers=1).resolve(None, big) == "csr"
+        parallel_family = ("parallel", "parallel-vec")
+        csr_family = ("csr", "csr-vec")
+        assert Engine(workers=4).resolve(None, big) in parallel_family
+        assert Engine(workers=1).resolve(None, big) in csr_family
 
     def test_membership_error_contract(self):
         graph = complete_graph(4)
@@ -264,13 +399,13 @@ class TestAutoPolicy:
 
 
 # ------------------------------------------------------------------ #
-# engine stats: schema /2
+# engine stats: schema /4
 # ------------------------------------------------------------------ #
 
 
 class TestStatsSchema:
     def test_schema_bumped(self):
-        assert STATS_SCHEMA == "repro.engine.stats/3"
+        assert STATS_SCHEMA == "repro.engine.stats/4"
 
     def test_v1_keys_still_present(self):
         # /2 is a strict superset of /1: old readers must keep working.
@@ -296,12 +431,14 @@ class TestStatsSchema:
         engine = Engine(workers=3, max_cached_graphs=0)
         engine.decompose(er(seed=9), backend="parallel")
         payload = engine.stats_dict()
-        assert payload["schema"] == "repro.engine.stats/3"
+        assert payload["schema"] == "repro.engine.stats/4"
         assert payload["backend_calls"]["parallel"] == 1
         section = payload["parallel"]
         assert section["workers"] == 3
         assert section["decompositions"] == 1
         assert len(section["shard_seconds"]) == section["shards"]
+        assert section["transport"] in ("shm", "pickle")
+        assert section["bytes_shipped"] > 0
 
     def test_parallel_section_counters_deterministic(self):
         # Everything except wall times must be identical across runs.

@@ -1,0 +1,205 @@
+"""The shared-memory CSR substrate (repro.fast.shm) and its transports.
+
+Covers the L1 zero-copy contract end to end: publish/attach round-trips,
+the O(descriptor) bytes-shipped guarantee (the whole point of the shm
+transport — a worker receives a few hundred bytes no matter how large
+the graph is), the pickle fallback, and the lifetime rules — the parent
+removes the segment in every exit path, including a SIGKILL'd worker, so
+``/dev/shm`` never accumulates ``repro-csr-*`` segments.
+"""
+
+from __future__ import annotations
+
+import glob
+import pickle
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.fast import CSRGraph, csr_decomposition, parallel_decomposition
+from repro.fast import parallel as parallel_mod
+from repro.fast import shm as shm_mod
+from repro.fast.shm import SEGMENT_PREFIX, SharedCSR, shared_memory_available
+from repro.graph import Graph, erdos_renyi
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="host lacks multiprocessing.shared_memory",
+)
+
+
+def leaked_segments() -> list:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    before = set(leaked_segments())
+    yield
+    after = set(leaked_segments())
+    assert after <= before, f"leaked shared-memory segments: {after - before}"
+
+
+def er(seed: int = 0, n: int = 60, p: float = 0.15) -> Graph:
+    return erdos_renyi(n, p, seed=seed)
+
+
+# ------------------------------------------------------------------ #
+# publish / attach round-trip
+# ------------------------------------------------------------------ #
+
+
+class TestRoundTrip:
+    def test_attached_csr_is_field_identical(self):
+        csr = CSRGraph.from_graph(er(seed=1))
+        shared = SharedCSR.publish(csr)
+        try:
+            mirror = SharedCSR.attach(shared.descriptor)
+            twin = mirror.csr()
+            assert twin.num_vertices == csr.num_vertices
+            assert twin.num_edges == csr.num_edges
+            for field in CSRGraph.ARRAY_FIELDS:
+                assert list(getattr(twin, field)) == list(getattr(csr, field))
+            del twin  # release the memoryview exports before close()
+            mirror.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_kernels_identical_over_attached_views(self):
+        graph = er(seed=2)
+        csr = CSRGraph.from_graph(graph)
+        shared = SharedCSR.publish(csr)
+        try:
+            mirror = SharedCSR.attach(shared.descriptor)
+            from repro.fast import supports_and_triangles
+
+            assert supports_and_triangles(mirror.csr()) == (
+                supports_and_triangles(csr)
+            )
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_descriptor_is_o1_in_the_graph(self):
+        # The acceptance bound: what ships per task is O(shard descriptor),
+        # not O(graph).  A 200-vertex graph's payload is tens of KB; its
+        # descriptor must stay under 512 bytes.
+        csr = CSRGraph.from_graph(er(seed=3, n=200, p=0.3))
+        shared = SharedCSR.publish(csr)
+        try:
+            wire = len(pickle.dumps(shared.descriptor))
+            assert wire < 512
+            assert shared.nbytes > 50_000
+            assert wire * 50 < shared.nbytes
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_unlink_removes_the_segment(self):
+        shared = SharedCSR.publish(CSRGraph.from_graph(er(seed=4)))
+        name = shared.name
+        assert f"/dev/shm/{name}" in leaked_segments() or leaked_segments()
+        shared.close()
+        shared.unlink()
+        assert f"/dev/shm/{name}" not in leaked_segments()
+        shared.unlink()  # idempotent
+
+    def test_empty_graph_publishes(self):
+        shared = SharedCSR.publish(CSRGraph.from_graph(Graph()))
+        try:
+            mirror = SharedCSR.attach(shared.descriptor)
+            twin = mirror.csr()
+            assert twin.num_edges == 0
+            del twin  # release the memoryview exports before close()
+            mirror.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+
+# ------------------------------------------------------------------ #
+# transports through the pool
+# ------------------------------------------------------------------ #
+
+
+class TestPoolTransports:
+    def test_shm_pool_run_ships_only_the_descriptor(self):
+        graph = er(seed=5, n=120, p=0.2)
+        info: dict = {}
+        result = parallel_decomposition(
+            graph, workers=2, info=info, transport="shm"
+        )
+        assert result.kappa == csr_decomposition(graph).kappa
+        assert info["transport"] == "shm"
+        assert 0 < info["bytes_shipped"] < 1024
+
+    def test_pickle_pool_ships_the_whole_payload(self):
+        graph = er(seed=6, n=120, p=0.2)
+        info: dict = {}
+        result = parallel_decomposition(
+            graph, workers=2, info=info, transport="pickle"
+        )
+        assert result.kappa == csr_decomposition(graph).kappa
+        assert info["transport"] == "pickle"
+        # O(graph): orders of magnitude beyond any descriptor.
+        assert info["bytes_shipped"] > 10_000
+
+    def test_auto_falls_back_when_publish_fails(self, monkeypatch):
+        def broken_publish(cls_csr):
+            raise OSError("no shm for you")
+
+        monkeypatch.setattr(SharedCSR, "publish", broken_publish)
+        graph = er(seed=7)
+        info: dict = {}
+        result = parallel_decomposition(graph, workers=2, info=info)
+        assert info["transport"] == "pickle"
+        assert result.kappa == csr_decomposition(graph).kappa
+
+    def test_forced_shm_raises_instead_of_degrading(self, monkeypatch):
+        monkeypatch.setattr(SharedCSR, "publish", classmethod(
+            lambda cls, csr: (_ for _ in ()).throw(OSError("unavailable"))
+        ))
+        with pytest.raises(BackendError, match="shared-memory transport"):
+            parallel_decomposition(er(seed=8), workers=2, transport="shm")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            parallel_mod.parallel_supports_and_triangles(
+                CSRGraph.from_graph(er(seed=9)), workers=2, transport="warp"
+            )
+
+
+# ------------------------------------------------------------------ #
+# lifetime under worker crashes
+# ------------------------------------------------------------------ #
+
+
+class TestCrashCleanup:
+    def test_sigkilled_worker_leaves_no_segment(self, monkeypatch):
+        # Workers die via os._exit before touching the segment; the
+        # parent's finally must still remove it (the autouse fixture
+        # asserts /dev/shm is clean afterwards as well).
+        monkeypatch.setenv(parallel_mod._CRASH_ENV, "1")
+        with pytest.raises(BackendError, match="worker process died"):
+            parallel_decomposition(er(seed=10), workers=2, transport="shm")
+        assert leaked_segments() == []
+
+    def test_attach_never_owns(self):
+        shared = SharedCSR.publish(CSRGraph.from_graph(er(seed=11)))
+        try:
+            mirror = SharedCSR.attach(shared.descriptor)
+            mirror.unlink()  # no-op: only the owner may unlink
+            assert f"/dev/shm/{shared.name}" in leaked_segments()
+            mirror.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_gate_reports_unavailable_without_module(self, monkeypatch):
+        monkeypatch.setattr(shm_mod, "_shared_memory", None)
+        assert not shm_mod.shared_memory_available()
+        with pytest.raises(OSError, match="unavailable"):
+            SharedCSR.publish(CSRGraph.from_graph(Graph()))
+        with pytest.raises(OSError, match="unavailable"):
+            SharedCSR.attach({"name": "x", "fields": {}})

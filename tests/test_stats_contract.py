@@ -2,7 +2,7 @@
 
 Contract: with ``--stats``, a subcommand's **last stdout line** is exactly
 one JSON object validating against the engine stats schema
-(``repro.engine.stats/3``) — everything human-readable goes above it, so
+(``repro.engine.stats/4``) — everything human-readable goes above it, so
 scripts can always ``tail -1 | jq``.  The ``serve`` subcommand honours the
 same contract by dumping stats after its SIGTERM drain.
 
@@ -25,13 +25,14 @@ from repro.graph import Graph, write_edge_list
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Required top-level keys of the stats /3 schema.
+#: Required top-level keys of the stats /4 schema.
 STATS_KEYS = {
     "schema",
     "counters",
     "backend_calls",
     "stage_seconds",
     "parallel",
+    "peel",
     "batch",
     "default_backend",
     "cached_graphs",
@@ -45,7 +46,7 @@ def assert_stats_contract(stdout: str) -> dict:
     assert lines, "no output produced"
     payload = json.loads(lines[-1])
     assert isinstance(payload, dict)
-    assert payload["schema"] == "repro.engine.stats/3"
+    assert payload["schema"] == "repro.engine.stats/4"
     assert STATS_KEYS <= set(payload), sorted(STATS_KEYS - set(payload))
     # Exactly one JSON object: the line above it (if any) must NOT parse
     # as a JSON object (it is human-readable prose).
@@ -81,6 +82,50 @@ def _stats_argvs(edge_file, tmp_path):
             "report", edge_file, "-o", str(tmp_path / "r.html"), "--stats",
         ],
     ]
+
+
+class TestSchemaCompat:
+    """Each schema bump is a strict superset of its predecessor.
+
+    Mirrors the /1 -> /2 pattern: a reader written against /3 (or /1, /2)
+    keeps working against /4 because no key was renamed or removed — /4
+    only added the "peel" section and the "transport"/"bytes_shipped"
+    members of "parallel".
+    """
+
+    V3_KEYS = {
+        "schema", "counters", "backend_calls", "stage_seconds",
+        "parallel", "batch",
+    }
+
+    def test_v4_is_strict_superset_of_v3(self):
+        from repro.engine import EngineStats
+
+        payload = EngineStats().as_dict()
+        assert self.V3_KEYS < set(payload)
+        assert set(payload) - self.V3_KEYS == {"peel"}
+
+    def test_peel_section_populates_from_vector_run(self):
+        from repro.engine import Engine
+        from repro.graph import complete_graph
+
+        engine = Engine(max_cached_graphs=0)
+        engine.decompose(complete_graph(6), backend="csr-vec")
+        section = engine.stats_dict()["peel"]
+        assert section["executor"] == "vector"
+        assert section["runs"] == 1
+        assert section["levels"] >= 1
+
+    def test_peel_section_accumulates_across_runs(self):
+        from repro.engine import Engine
+        from repro.graph import complete_graph
+
+        engine = Engine(max_cached_graphs=0)
+        engine.decompose(complete_graph(6), backend="csr-vec")
+        engine.decompose(complete_graph(5), backend="csr")
+        section = engine.stats_dict()["peel"]
+        assert section["executor"] == "scalar"  # most recent run
+        assert section["runs"] == 2
 
 
 class TestStatsContract:
