@@ -10,6 +10,7 @@
 #   make bench-batch   batched maintenance vs per-op speedup gate
 #   make bench-service  query-service closed-loop load generator
 #   make bench-replication  read-scaling of 1 vs 2 replica processes
+#   make bench-external  out-of-core decomposition under a capped RSS budget
 #   make figures    alias for bench (outputs land in benchmarks/results/)
 #   make examples   run all runnable examples
 #   make artifacts  test + bench with logs captured at the repo root
@@ -20,7 +21,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-engine bench-parallel bench-peel bench-batch bench-service bench-replication figures examples artifacts clean
+.PHONY: install test bench bench-engine bench-parallel bench-peel bench-batch bench-service bench-replication bench-external figures examples artifacts clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +49,9 @@ bench-service:
 
 bench-replication:
 	$(PYTHON) benchmarks/bench_replication.py
+
+bench-external:
+	$(PYTHON) benchmarks/bench_scaling.py
 
 figures: bench
 

@@ -49,6 +49,28 @@ def _load_graph(spec: str) -> Graph:
     return read_edge_list(spec)
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (``"256M"``)."""
+    raw = text.strip()
+    multiplier = 1
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if raw and raw[-1].upper() in suffixes:
+        multiplier = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; expected an integer with an optional "
+            "K/M/G suffix (e.g. 256M)"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"size must be >= 1 byte, got {text!r}"
+        )
+    return value
+
+
 def _make_engine(args: argparse.Namespace):
     """Fresh engine per invocation so ``--stats`` covers exactly this run."""
     from .engine import Engine
@@ -56,6 +78,8 @@ def _make_engine(args: argparse.Namespace):
     return Engine(
         default_backend=getattr(args, "backend", None) or "auto",
         workers=getattr(args, "workers", None),
+        spill_dir=getattr(args, "spill_dir", None),
+        memory_budget=getattr(args, "memory_budget", None),
     )
 
 
@@ -74,7 +98,8 @@ def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
         default=None,
         help="decomposition implementation: dict-based reference, "
         "flat-array CSR kernels, process-parallel sharded enumeration, "
-        "incremental dynamic maintenance, or auto (size-based, default)",
+        "out-of-core spill (external), incremental dynamic maintenance, "
+        "or auto (size-based, default)",
     )
     p.add_argument(
         "--workers",
@@ -83,6 +108,22 @@ def _add_engine_arguments(p: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for the parallel backend (default: one per "
         "CPU; 1 disables pool spawning)",
+    )
+    p.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill directory for the external backend (default: a "
+        "private temporary directory removed after the run)",
+    )
+    p.add_argument(
+        "--memory-budget",
+        type=_parse_size,
+        default=None,
+        metavar="BYTES",
+        help="resident-memory budget for the external backend's partition "
+        "sizing, and the auto policy's spill threshold; accepts K/M/G "
+        "suffixes (e.g. 256M)",
     )
     p.add_argument(
         "--stats",
@@ -528,15 +569,44 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
         extra_kwargs["oracles"] = DEFAULT_ORACLES + ("csr-vec",)
         print("extra oracle: csr-vec (vectorized peel) per checkpoint")
+    elif args.backend == "external":
+        from .testing import DEFAULT_ORACLES
+
+        extra_kwargs["oracles"] = DEFAULT_ORACLES + ("external",)
+        print(
+            "extra oracle: external (out-of-core partitioned spill, "
+            "2 partitions) per checkpoint"
+        )
+    if getattr(args, "external_bug", False):
+        if args.backend != "external":
+            print("--external-bug needs --backend external")
+            return 2
+        print(
+            "self-test: injecting boundary-reconciliation bug (dropped "
+            "demotion at a partition seam) into the external oracle"
+        )
     start = time.perf_counter()
-    result = fuzz(
-        seed=args.seed,
-        ops=args.ops,
-        profiles=profiles,
-        checkpoint_every=args.checkpoint_every,
-        shrink=args.shrink,
-        **extra_kwargs,
-    )
+    if getattr(args, "external_bug", False):
+        from .fast.external import inject_boundary_drop_bug
+
+        with inject_boundary_drop_bug():
+            result = fuzz(
+                seed=args.seed,
+                ops=args.ops,
+                profiles=profiles,
+                checkpoint_every=args.checkpoint_every,
+                shrink=args.shrink,
+                **extra_kwargs,
+            )
+    else:
+        result = fuzz(
+            seed=args.seed,
+            ops=args.ops,
+            profiles=profiles,
+            checkpoint_every=args.checkpoint_every,
+            shrink=args.shrink,
+            **extra_kwargs,
+        )
     elapsed = time.perf_counter() - start
     for outcome in result.outcomes:
         status = "clean" if outcome.ok else "DIVERGED"
@@ -1006,11 +1076,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("parallel", "parallel-vec", "csr-vec"),
+        choices=("parallel", "parallel-vec", "csr-vec", "external"),
         default=None,
         help="cross-check this backend as an extra checkpoint oracle "
         "(parallel/parallel-vec: real worker pools with the scalar/vector "
-        "peel, see --workers; csr-vec: in-process vectorized peel)",
+        "peel, see --workers; csr-vec: in-process vectorized peel; "
+        "external: out-of-core partitioned spill)",
     )
     p.add_argument(
         "--workers",
@@ -1018,6 +1089,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes for the parallel oracle (default: 2)",
+    )
+    p.add_argument(
+        "--external-bug",
+        action="store_true",
+        dest="external_bug",
+        help="self-test: inject a boundary-reconciliation bug (one dropped "
+        "demotion at a partition seam) into the external oracle and verify "
+        "the harness catches it (use with --backend external)",
     )
     p.set_defaults(func=_cmd_fuzz)
 

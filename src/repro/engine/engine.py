@@ -8,7 +8,8 @@ The engine owns three concerns those layers previously re-implemented (or
 simply lacked):
 
 **Backend registry.**  ``"reference"``, ``"csr"``, ``"csr-vec"``,
-``"parallel"``, ``"parallel-vec"`` and ``"auto"`` dispatch exactly as
+``"parallel"``, ``"parallel-vec"``, ``"external"`` (out-of-core spill —
+see :mod:`repro.fast.external`) and ``"auto"`` dispatch exactly as
 before (the composition policy lives in :mod:`repro.fast` — see
 DESIGN.md "Kernel layering"), plus a ``"dynamic"`` strategy: the first decomposition warms a
 :class:`~repro.core.dynamic.DynamicTriangleKCore`, and every subsequent
@@ -173,6 +174,40 @@ def _decompose_parallel_vec(
     )
 
 
+def _decompose_external(
+    engine: "Engine", graph: Graph, store_membership: bool
+) -> TriangleKCoreResult:
+    """``"external"``: out-of-core partitioned spill + reconciliation peel."""
+    if store_membership:
+        raise ValueError(
+            "backend='external' does not support membership bookkeeping; "
+            "use backend='reference' (or 'auto')"
+        )
+    from ..fast.external import ExternalInfo, external_decomposition
+
+    counters: Dict[str, int] = {}
+    peel_stats: Dict[str, object] = {}
+    info: ExternalInfo = {}
+    with engine.stats.stage("decompose.external"):
+        result = external_decomposition(
+            graph,
+            spill_dir=engine.spill_dir,
+            memory_budget=engine.memory_budget,
+            counters=counters,
+            peel_stats=peel_stats,
+            info=info,
+        )
+    engine.stats.merge_counters(counters)
+    engine.stats.record_external(
+        info.get("partitions", 1),
+        info.get("passes", 0),
+        info.get("bytes_mapped", 0),
+        info.get("bound_prune_hits", 0),
+    )
+    engine.stats.record_peel(peel_stats)
+    return result
+
+
 def _decompose_dynamic(
     engine: "Engine", graph: Graph, store_membership: bool
 ) -> TriangleKCoreResult:
@@ -190,6 +225,7 @@ _BUILTIN_BACKENDS: Dict[str, BackendFn] = {
     "csr-vec": _decompose_csr_vec,
     "parallel": _decompose_parallel,
     "parallel-vec": _decompose_parallel_vec,
+    "external": _decompose_external,
     "dynamic": _decompose_dynamic,
 }
 
@@ -224,6 +260,17 @@ class Engine:
         (default) means one per CPU; ``1`` disables pool spawning
         entirely (the parallel backend then runs its in-process
         short-circuit and ``"auto"`` never escalates past ``"csr"``).
+    spill_dir:
+        Spill directory for the ``"external"`` backend.  ``None``
+        (default) uses a private temporary directory per decomposition,
+        removed afterwards; naming one keeps the spilled columns around
+        between calls (and across processes).
+    memory_budget:
+        Resident-memory budget in bytes for the ``"external"`` backend's
+        partition sizing, and the input to ``"auto"``'s out-of-core
+        escalation: when the estimated CSR payload of a graph exceeds the
+        budget, ``"auto"`` resolves to ``"external"``.  ``None``
+        (default) disables budget-based escalation.
 
     Examples
     --------
@@ -246,6 +293,8 @@ class Engine:
         max_cached_graphs: int = 8,
         dynamic_strategy: str = "auto",
         workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if max_cached_graphs < 0:
             raise ValueError(
@@ -259,12 +308,18 @@ class Engine:
             )
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte, got {memory_budget}"
+            )
         self._registry: Dict[str, BackendFn] = dict(_BUILTIN_BACKENDS)
         self._stats_sections: Dict[str, Callable[[], Dict[str, object]]] = {}
         self._cache: "OrderedDict[int, _GraphEntry]" = OrderedDict()
         self._max_cached_graphs = max_cached_graphs
         self.dynamic_strategy = dynamic_strategy
         self.workers = workers
+        self.spill_dir = spill_dir
+        self.memory_budget = memory_budget
         self.stats = EngineStats()
         #: Warm maintainer behind the "dynamic" backend (one per engine).
         self._dynamic: Optional[DynamicTriangleKCore] = None
@@ -332,6 +387,7 @@ class Engine:
                 graph,
                 needs_reference=store_membership,
                 workers=self.workers,
+                memory_budget=self.memory_budget,
             )
         if name not in self._registry:
             raise ValueError(
@@ -711,7 +767,7 @@ class Engine:
 
         ``provider()`` is called on every ``stats_dict()`` and its return
         value is embedded under ``payload[name]``.  Sections are additive
-        on top of the ``repro.engine.stats/4`` schema (every /3 key is
+        on top of the ``repro.engine.stats/5`` schema (every /4 key is
         untouched); a long-lived consumer — the service layer — uses this
         to publish its own telemetry through the one ``--stats`` pipe.
         Reserved schema keys cannot be shadowed.
@@ -724,6 +780,7 @@ class Engine:
             "batch",
             "parallel",
             "peel",
+            "external",
             "default_backend",
             "cached_graphs",
             "cached_artifacts",

@@ -11,27 +11,32 @@ saved a recompute.
 The structured schema (``as_dict``)::
 
     {
-      "schema": "repro.engine.stats/4",
+      "schema": "repro.engine.stats/5",
       "counters":      {"decompositions": ..., "cache_hits": ...,
                         "triangles_enumerated": ..., "edges_peeled": ...,
                         "bucket_decrements": ..., "dynamic_updates": ...},
       "backend_calls": {"reference": ..., "csr": ..., "csr-vec": ...,
-                        "parallel": ..., "parallel-vec": ..., "dynamic": ...},
+                        "parallel": ..., "parallel-vec": ...,
+                        "external": ..., "dynamic": ...},
       "stage_seconds": {"decompose.reference": ..., "dynamic.diff": ...},
       "parallel":      {"decompositions": ..., "workers": ...,
                         "shards": ..., "shard_seconds": [...],
                         "transport": ..., "bytes_shipped": ...},
       "peel":          {"executor": ..., "runs": ..., "levels": ...,
                         "batched_decrements": ..., "bound_skips": ...},
+      "external":      {"decompositions": ..., "partitions": ...,
+                        "passes": ..., "bytes_mapped": ...,
+                        "bound_prune_hits": ...},
       "batch":         {"applies": ..., "region_edges": ...,
                         "settle_iterations": ..., "bound_prune_hits": ...},
     }
 
 Schema history: ``/1`` lacked the ``"parallel"`` section, ``/2`` lacked
 the ``"batch"`` section, ``/3`` lacked the ``"peel"`` section and the
-``"transport"``/``"bytes_shipped"`` keys of ``"parallel"``; every key of
-each older schema is present unchanged in the next, so readers of the old
-schemas keep working (the compatibility test pins this).
+``"transport"``/``"bytes_shipped"`` keys of ``"parallel"``, ``/4``
+lacked the ``"external"`` section; every key of each older schema is
+present unchanged in the next, so readers of the old schemas keep
+working (the compatibility test pins this).
 
 Counter values are exact, not sampled: the static counters are derived
 from state Algorithm 1 computes anyway (see the ``counters`` hook on
@@ -47,14 +52,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence
 
 #: Version tag for the structured stats payload; bump on schema changes.
-STATS_SCHEMA = "repro.engine.stats/4"
+STATS_SCHEMA = "repro.engine.stats/5"
 
 
 class EngineStats:
     """Mutable instrumentation accumulator for one engine."""
 
     __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel",
-                 "peel", "batch")
+                 "peel", "external", "batch")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
@@ -70,6 +75,11 @@ class EngineStats:
         #: levels / batched decrements / bound skips (see PeelStats in
         #: repro.fast.peelers).
         self.peel: Dict[str, object] = {}
+        #: Aggregate view of every "external"-backend decomposition:
+        #: partition count of the most recent run plus cumulative
+        #: partition-scan passes, bytes mapped, and admission-bound prune
+        #: hits (see ExternalInfo in repro.fast.external).
+        self.external: Dict[str, int] = {}
         #: Aggregate view of every batch-strategy dynamic update: apply
         #: count plus cumulative affected-region size, settle worklist
         #: iterations and bound-prune hits (see UpdateStats in
@@ -149,6 +159,33 @@ class EngineStats:
                 peel_stats.get(key, 0)
             )
 
+    def record_external(
+        self,
+        partitions: int,
+        passes: int,
+        bytes_mapped: int,
+        bound_prune_hits: int,
+    ) -> None:
+        """Record one ``"external"``-backend decomposition.
+
+        ``partitions`` reflects the most recent run (it overwrites);
+        ``decompositions``/``passes``/``bytes_mapped``/
+        ``bound_prune_hits`` accumulate.
+        """
+        self.external["decompositions"] = (
+            self.external.get("decompositions", 0) + 1
+        )
+        self.external["partitions"] = int(partitions)
+        self.external["passes"] = (
+            self.external.get("passes", 0) + int(passes)
+        )
+        self.external["bytes_mapped"] = (
+            self.external.get("bytes_mapped", 0) + int(bytes_mapped)
+        )
+        self.external["bound_prune_hits"] = (
+            self.external.get("bound_prune_hits", 0) + int(bound_prune_hits)
+        )
+
     def record_batch(
         self,
         region_edges: int,
@@ -191,6 +228,7 @@ class EngineStats:
             },
             "parallel": dict(self.parallel),
             "peel": dict(self.peel),
+            "external": dict(sorted(self.external.items())),
             "batch": dict(sorted(self.batch.items())),
         }
 
@@ -201,6 +239,7 @@ class EngineStats:
         self.stage_seconds.clear()
         self.parallel.clear()
         self.peel.clear()
+        self.external.clear()
         self.batch.clear()
 
     def __repr__(self) -> str:

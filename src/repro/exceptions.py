@@ -57,10 +57,26 @@ class BackendError(ReproError):
     """A decomposition backend failed mechanically (not algorithmically).
 
     Raised by the ``parallel`` backend when a worker process dies or the
-    pool cannot be created; the input graph is always left untouched and
-    the caller can retry with an in-process backend (``csr``/``reference``)
-    or ``workers=1``.
+    pool cannot be created, and by the ``external`` backend when its spill
+    directory misbehaves (see :class:`SpillError`); the input graph is
+    always left untouched and the caller can retry with an in-process
+    backend (``csr``/``reference``) or ``workers=1``.
     """
+
+
+class SpillError(BackendError):
+    """An on-disk spill artifact could not be read or failed validation.
+
+    Raised by :mod:`repro.fast.external` for missing/truncated column
+    files, checksum mismatches, manifest format-version mismatches, or a
+    spill directory that vanished mid-run — instead of surfacing raw
+    ``OSError`` / ``json.JSONDecodeError``.  ``path`` names the offending
+    file or directory (mirrors :class:`PersistenceError`).
+    """
+
+    def __init__(self, path: object, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)
 
 
 class DecompositionError(ReproError):

@@ -50,11 +50,21 @@ Backends
 ``"parallel-vec"``
     Sharded enumeration + vector peel: the full composition.
     Bit-identical to ``"csr-vec"`` for any worker count.
+``"external"``
+    Out-of-core: the CSR columns live in mmap'd spill files under a
+    spill directory, triangles are enumerated partition by partition to
+    disk, and a reconciliation peel iterates boundary demotions across
+    partitions to a fixed point (:mod:`repro.fast.external`).  Resident
+    memory stays O(n + m) words plus one byte per triangle regardless of
+    graph size.  Bit-identical to ``"csr"`` (kappa) *and* ``"csr-vec"``
+    (canonical processing order) for any partition count.
 ``"auto"``
-    By measured tiering: ``"parallel-vec"`` (or ``"parallel"`` without
-    numpy) for static calls on graphs with at least
-    :data:`AUTO_PARALLEL_MIN_EDGES` edges when more than one CPU is
-    available; else ``"csr-vec"`` at or above
+    By measured tiering: ``"external"`` when a ``memory_budget`` is
+    configured and the estimated CSR payload exceeds it (or the graph
+    has at least :data:`AUTO_EXTERNAL_MIN_EDGES` edges); else
+    ``"parallel-vec"`` (or ``"parallel"`` without numpy) for static
+    calls on graphs with at least :data:`AUTO_PARALLEL_MIN_EDGES` edges
+    when more than one CPU is available; else ``"csr-vec"`` at or above
     :data:`AUTO_VECTOR_MIN_EDGES` edges when numpy is present; else
     ``"csr"`` at or above :data:`AUTO_MIN_EDGES` (snapshot construction
     overhead dominates below that); else ``"reference"`` — and always
@@ -68,6 +78,15 @@ from typing import Dict, List, Optional, Tuple
 from ..graph.edge import Edge
 from ..graph.undirected import Graph
 from .csr import CSRGraph
+from .external import (
+    ExternalCSR,
+    SpillError,
+    cleanup_stale,
+    decompose_spill,
+    external_decomposition,
+    inject_boundary_drop_bug,
+    spill_edges,
+)
 from .kernels import peel, supports_and_triangles, triangle_count, triangle_supports
 from .parallel import (
     BackendError,
@@ -81,18 +100,26 @@ from .parallel import (
 from .peelers import PEEL_EXECUTORS, run_peel
 
 __all__ = [
+    "AUTO_EXTERNAL_MIN_EDGES",
     "AUTO_MIN_EDGES",
     "AUTO_PARALLEL_MIN_EDGES",
     "AUTO_VECTOR_MIN_EDGES",
     "BACKENDS",
     "BackendError",
     "CSRGraph",
+    "ExternalCSR",
     "PEEL_EXECUTORS",
+    "SpillError",
     "backend_executor",
+    "cleanup_stale",
     "csr_count_triangles",
     "csr_decomposition",
     "csr_triangle_supports",
+    "decompose_spill",
     "effective_workers",
+    "estimated_payload_nbytes",
+    "external_decomposition",
+    "inject_boundary_drop_bug",
     "inject_shard_merge_bug",
     "parallel_count_triangles",
     "parallel_decomposition",
@@ -102,6 +129,7 @@ __all__ = [
     "resolve_backend",
     "run_peel",
     "shard_ranges",
+    "spill_edges",
     "supports_and_triangles",
     "triangle_count",
     "triangle_supports",
@@ -109,7 +137,15 @@ __all__ = [
 
 #: Backends this package can resolve (the engine registry adds more, e.g.
 #: ``"dynamic"`` — see :func:`_known_backends`).
-BACKENDS = ("auto", "reference", "csr", "csr-vec", "parallel", "parallel-vec")
+BACKENDS = (
+    "auto",
+    "reference",
+    "csr",
+    "csr-vec",
+    "parallel",
+    "parallel-vec",
+    "external",
+)
 
 #: "auto" switches to the CSR kernels at this edge count; below it the
 #: snapshot build costs more than the dict overhead it saves (measured in
@@ -127,6 +163,13 @@ AUTO_VECTOR_MIN_EDGES = 32768
 #: benchmarks/bench_parallel_backend.py — below it the pool spawn costs
 #: more than the sharded enumeration saves).
 AUTO_PARALLEL_MIN_EDGES = 65536
+
+#: "auto" escalates to the out-of-core backend at this edge count even
+#: without an explicit memory budget — the point where the in-RAM
+#: triangle list (24 bytes/triangle plus the O(3T) incidence the peel
+#: executors build) starts to dominate typical container budgets.  With a
+#: budget configured the payload-vs-budget comparison takes precedence.
+AUTO_EXTERNAL_MIN_EDGES = 1 << 21
 
 
 def backend_executor(backend: str) -> str:
@@ -156,16 +199,19 @@ def resolve_backend(
     *,
     needs_reference: bool = False,
     workers: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> str:
     """Resolve ``backend`` to a concrete kernel composition.
 
     Returns one of ``"reference"``, ``"csr"``, ``"csr-vec"``,
-    ``"parallel"`` or ``"parallel-vec"``.  ``needs_reference`` marks calls
-    the kernels cannot serve (currently: membership bookkeeping);
-    ``"auto"`` then degrades silently while an explicit kernel backend
-    raises, so callers never get an answer computed differently from what
-    they asked for.  ``workers`` feeds the ``"auto"`` policy's parallel
-    escalation (``None`` = one per CPU).
+    ``"parallel"``, ``"parallel-vec"`` or ``"external"``.
+    ``needs_reference`` marks calls the kernels cannot serve (currently:
+    membership bookkeeping); ``"auto"`` then degrades silently while an
+    explicit kernel backend raises, so callers never get an answer
+    computed differently from what they asked for.  ``workers`` feeds the
+    ``"auto"`` policy's parallel escalation (``None`` = one per CPU);
+    ``memory_budget`` (bytes) feeds its out-of-core escalation — when the
+    estimated CSR payload would exceed the budget, ``"auto"`` spills.
     """
     if backend not in BACKENDS:
         known = _known_backends()
@@ -189,6 +235,11 @@ def resolve_backend(
     from . import csr as _csr_mod
 
     has_numpy = _csr_mod.np is not None
+    if graph.num_edges >= AUTO_EXTERNAL_MIN_EDGES or (
+        memory_budget is not None
+        and estimated_payload_nbytes(graph) > memory_budget
+    ):
+        return "external"
     if (
         graph.num_edges >= AUTO_PARALLEL_MIN_EDGES
         and effective_workers(workers) > 1
@@ -197,6 +248,16 @@ def resolve_backend(
     if has_numpy and graph.num_edges >= AUTO_VECTOR_MIN_EDGES:
         return "csr-vec"
     return "csr" if graph.num_edges >= AUTO_MIN_EDGES else "reference"
+
+
+def estimated_payload_nbytes(graph: Graph) -> int:
+    """Estimated in-RAM CSR payload for ``graph``, without building it.
+
+    The five kernel columns cost ``8 * (n + 1) + 8 * 2m + 8 * 2m + 8 * n
+    + 16m`` bytes = ``48m + 16n + 8`` — the quantity ``"auto"`` compares
+    against a configured memory budget to decide when to spill.
+    """
+    return 48 * graph.num_edges + 16 * graph.num_vertices + 8
 
 
 def csr_count_triangles(graph: Graph) -> int:

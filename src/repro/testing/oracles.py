@@ -56,7 +56,15 @@ from ..graph.edge import Edge, Vertex
 from ..graph.undirected import Graph
 
 #: Checkpoint oracle names, in the order they are evaluated.
-ORACLE_NAMES = ("recompute", "csr", "csr-vec", "networkx", "parallel", "per_op")
+ORACLE_NAMES = (
+    "recompute",
+    "csr",
+    "csr-vec",
+    "networkx",
+    "parallel",
+    "external",
+    "per_op",
+)
 
 #: Default oracle selection ("networkx" degrades to a no-op if unavailable;
 #: "parallel" is opt-in — see the module docstring).
@@ -88,6 +96,7 @@ class CheckpointOracles:
         parallel_workers: int = 2,
         parallel_inprocess: bool = True,
         parallel_executor: str = "scalar",
+        external_partitions: int = 2,
     ) -> None:
         for name in oracles:
             if name not in ORACLE_NAMES:
@@ -102,6 +111,7 @@ class CheckpointOracles:
         self._parallel_workers = parallel_workers
         self._parallel_inprocess = parallel_inprocess
         self._parallel_executor = parallel_executor
+        self._external_partitions = external_partitions
         # Private, cache-disabled engine: each oracle must recompute from
         # scratch every checkpoint — serving one oracle's cached artifact
         # to another would collapse their independence.
@@ -145,6 +155,12 @@ class CheckpointOracles:
                     workers=self._parallel_workers,
                     inprocess=self._parallel_inprocess,
                     executor=self._parallel_executor,
+                ).kappa
+            elif name == "external":
+                from ..fast.external import external_decomposition
+
+                answers[name] = external_decomposition(
+                    shadow, partitions=self._external_partitions
                 ).kappa
             elif name == "per_op":
                 answers[name] = self._per_op_kappa(shadow)

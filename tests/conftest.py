@@ -3,10 +3,34 @@
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
 
 from repro.graph import Graph, complete_graph, erdos_renyi
+
+
+def maxrss_bytes(ru_maxrss: int) -> int:
+    """Normalize a ``resource.getrusage().ru_maxrss`` value to bytes.
+
+    POSIX leaves the unit unspecified: Linux reports kilobytes, macOS
+    reports bytes.  Every RSS assertion in the suite goes through this so
+    the budget tests mean the same thing on both.
+    """
+    if sys.platform == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
+def current_maxrss_bytes() -> int:
+    """This process's peak RSS high-water mark, in bytes.
+
+    Raises :class:`ImportError` where the stdlib ``resource`` module is
+    unavailable (non-POSIX hosts) — callers skip with a recorded reason.
+    """
+    import resource
+
+    return maxrss_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 @pytest.fixture

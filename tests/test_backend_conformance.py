@@ -173,6 +173,21 @@ class TestExecutorFamilies:
             assert result.processing_order == expected.processing_order
 
     @pytest.mark.parametrize("name", GRAPH_NAMES)
+    def test_external_bit_identical_to_csr_vec(self, name):
+        # The out-of-core backend belongs to the vector family: its
+        # level-synchronous reconciliation peel must reproduce csr-vec's
+        # canonical order bit-for-bit at every partition count, seams or
+        # no seams.
+        from repro.fast.external import external_decomposition
+
+        graph = fixed_graphs()[name]
+        expected = csr_decomposition(graph, executor="vector")
+        for partitions in (1, 2, 3, 7):
+            result = external_decomposition(graph, partitions=partitions)
+            assert result.kappa == expected.kappa
+            assert result.processing_order == expected.processing_order
+
+    @pytest.mark.parametrize("name", GRAPH_NAMES)
     def test_vector_order_is_valid_and_kappa_sorted(self, name):
         graph = fixed_graphs()[name]
         result = csr_decomposition(graph, executor="vector")

@@ -2,7 +2,7 @@
 
 Contract: with ``--stats``, a subcommand's **last stdout line** is exactly
 one JSON object validating against the engine stats schema
-(``repro.engine.stats/4``) — everything human-readable goes above it, so
+(``repro.engine.stats/5``) — everything human-readable goes above it, so
 scripts can always ``tail -1 | jq``.  The ``serve`` subcommand honours the
 same contract by dumping stats after its SIGTERM drain.
 
@@ -25,7 +25,7 @@ from repro.graph import Graph, write_edge_list
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Required top-level keys of the stats /4 schema.
+#: Required top-level keys of the stats /5 schema.
 STATS_KEYS = {
     "schema",
     "counters",
@@ -33,6 +33,7 @@ STATS_KEYS = {
     "stage_seconds",
     "parallel",
     "peel",
+    "external",
     "batch",
     "default_backend",
     "cached_graphs",
@@ -46,7 +47,7 @@ def assert_stats_contract(stdout: str) -> dict:
     assert lines, "no output produced"
     payload = json.loads(lines[-1])
     assert isinstance(payload, dict)
-    assert payload["schema"] == "repro.engine.stats/4"
+    assert payload["schema"] == "repro.engine.stats/5"
     assert STATS_KEYS <= set(payload), sorted(STATS_KEYS - set(payload))
     # Exactly one JSON object: the line above it (if any) must NOT parse
     # as a JSON object (it is human-readable prose).
@@ -87,23 +88,38 @@ def _stats_argvs(edge_file, tmp_path):
 class TestSchemaCompat:
     """Each schema bump is a strict superset of its predecessor.
 
-    Mirrors the /1 -> /2 pattern: a reader written against /3 (or /1, /2)
-    keeps working against /4 because no key was renamed or removed — /4
+    Mirrors the /1 -> /2 pattern: a reader written against /4 (or /1-/3)
+    keeps working against /5 because no key was renamed or removed — /4
     only added the "peel" section and the "transport"/"bytes_shipped"
-    members of "parallel".
+    members of "parallel", and /5 only added the "external" section.
     """
 
     V3_KEYS = {
         "schema", "counters", "backend_calls", "stage_seconds",
         "parallel", "batch",
     }
+    V4_KEYS = V3_KEYS | {"peel"}
 
-    def test_v4_is_strict_superset_of_v3(self):
+    def test_v5_is_strict_superset_of_v3_and_v4(self):
         from repro.engine import EngineStats
 
         payload = EngineStats().as_dict()
         assert self.V3_KEYS < set(payload)
-        assert set(payload) - self.V3_KEYS == {"peel"}
+        assert self.V4_KEYS < set(payload)
+        assert set(payload) - self.V4_KEYS == {"external"}
+
+    def test_external_section_populates_from_external_run(self):
+        from repro.engine import Engine
+        from repro.graph import complete_graph
+
+        engine = Engine(max_cached_graphs=0)
+        engine.decompose(complete_graph(6), backend="external")
+        section = engine.stats_dict()["external"]
+        assert section["decompositions"] == 1
+        assert section["partitions"] >= 1
+        assert section["passes"] >= 1
+        assert section["bytes_mapped"] > 0
+        assert section["bound_prune_hits"] == 0
 
     def test_peel_section_populates_from_vector_run(self):
         from repro.engine import Engine
