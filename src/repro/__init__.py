@@ -39,7 +39,7 @@ from .exceptions import (
 )
 from .graph import Graph, SnapshotStream, canonical_edge, canonical_triangle
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DatasetError",

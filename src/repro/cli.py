@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 from .graph.io import read_edge_list
 from .graph.undirected import Graph
+from .testing.workloads import PROFILES as _WORKLOAD_PROFILES
 
 
 def _load_graph(spec: str) -> Graph:
@@ -857,6 +858,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shell(args: argparse.Namespace) -> int:
+    """Interactive multi-graph workspace shell (see docs/WORKSPACE.md)."""
+    from .workspace import Workspace
+    from .workspace.shell import run_shell
+
+    engine = _make_engine(args)
+    workspace = Workspace(engine=engine, backend=args.backend)
+    exit_code = run_shell(
+        workspace,
+        script=args.script,
+        replay=args.replay,
+        save=args.save,
+        connect=args.connect,
+    )
+    _emit_stats(args, engine)
+    return exit_code
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from .datasets import load, names
 
@@ -1012,14 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--profile",
-        choices=(
-            "all",
-            "adversarial",
-            "churn",
-            "grow_shrink",
-            "triangle_bursts",
-            "uniform",
-        ),
+        choices=("all", *sorted(_WORKLOAD_PROFILES)),
         default="all",
         help="workload profile to run (default: all)",
     )
@@ -1224,6 +1236,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "shell",
+        help="interactive multi-graph workspace (REPL, scripts, replay)",
+    )
+    p.add_argument(
+        "--script",
+        metavar="FILE",
+        help="read command lines from FILE instead of stdin",
+    )
+    p.add_argument(
+        "--replay",
+        metavar="SESSION",
+        help="re-execute a saved session log and assert every command's "
+        "output is byte-identical to the recording (exit 1 on mismatch)",
+    )
+    p.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write the session log (repro.workspace-session/1) to PATH "
+        "on exit",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="override the target of in-session 'connect' commands "
+        "(lets --replay target a fresh server on a different port)",
+    )
+    _add_engine_arguments(p)
+    p.set_defaults(func=_cmd_shell)
 
     p = sub.add_parser("datasets", help="list built-in datasets")
     p.set_defaults(func=_cmd_datasets)

@@ -767,7 +767,7 @@ class Engine:
 
         ``provider()`` is called on every ``stats_dict()`` and its return
         value is embedded under ``payload[name]``.  Sections are additive
-        on top of the ``repro.engine.stats/5`` schema (every /4 key is
+        on top of the ``repro.engine.stats/6`` schema (every /5 key is
         untouched); a long-lived consumer — the service layer — uses this
         to publish its own telemetry through the one ``--stats`` pipe.
         Reserved schema keys cannot be shadowed.
@@ -781,6 +781,7 @@ class Engine:
             "parallel",
             "peel",
             "external",
+            "workspace",
             "default_backend",
             "cached_graphs",
             "cached_artifacts",

@@ -11,7 +11,7 @@ saved a recompute.
 The structured schema (``as_dict``)::
 
     {
-      "schema": "repro.engine.stats/5",
+      "schema": "repro.engine.stats/6",
       "counters":      {"decompositions": ..., "cache_hits": ...,
                         "triangles_enumerated": ..., "edges_peeled": ...,
                         "bucket_decrements": ..., "dynamic_updates": ...},
@@ -29,14 +29,18 @@ The structured schema (``as_dict``)::
                         "bound_prune_hits": ...},
       "batch":         {"applies": ..., "region_edges": ...,
                         "settle_iterations": ..., "bound_prune_hits": ...},
+      "workspace":     {"commands": ..., "graphs": ..., "views": ...,
+                        "views_created": ..., "view_refreshes": ...,
+                        "view_invalidations": ..., "materializations": ...},
     }
 
 Schema history: ``/1`` lacked the ``"parallel"`` section, ``/2`` lacked
 the ``"batch"`` section, ``/3`` lacked the ``"peel"`` section and the
 ``"transport"``/``"bytes_shipped"`` keys of ``"parallel"``, ``/4``
-lacked the ``"external"`` section; every key of each older schema is
-present unchanged in the next, so readers of the old schemas keep
-working (the compatibility test pins this).
+lacked the ``"external"`` section, ``/5`` lacked the ``"workspace"``
+section; every key of each older schema is present unchanged in the
+next, so readers of the old schemas keep working (the compatibility
+test pins this).
 
 Counter values are exact, not sampled: the static counters are derived
 from state Algorithm 1 computes anyway (see the ``counters`` hook on
@@ -52,14 +56,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence
 
 #: Version tag for the structured stats payload; bump on schema changes.
-STATS_SCHEMA = "repro.engine.stats/5"
+STATS_SCHEMA = "repro.engine.stats/6"
 
 
 class EngineStats:
     """Mutable instrumentation accumulator for one engine."""
 
     __slots__ = ("counters", "backend_calls", "stage_seconds", "parallel",
-                 "peel", "external", "batch")
+                 "peel", "external", "batch", "workspace")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
@@ -85,6 +89,10 @@ class EngineStats:
         #: iterations and bound-prune hits (see UpdateStats in
         #: repro.core.dynamic).
         self.batch: Dict[str, int] = {}
+        #: Aggregate view of the interactive workspace riding on this
+        #: engine: cumulative command / view-lifecycle counters plus
+        #: current graph and view gauges (see repro.workspace).
+        self.workspace: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -204,6 +212,33 @@ class EngineStats:
             self.batch.get("bound_prune_hits", 0) + int(bound_prune_hits)
         )
 
+    def record_workspace(
+        self,
+        *,
+        graphs: int,
+        views: int,
+        commands: int = 0,
+        views_created: int = 0,
+        view_refreshes: int = 0,
+        view_invalidations: int = 0,
+        materializations: int = 0,
+    ) -> None:
+        """Record workspace activity.
+
+        ``graphs``/``views`` are gauges (they overwrite with the current
+        population); everything else accumulates.
+        """
+        self.workspace["graphs"] = int(graphs)
+        self.workspace["views"] = int(views)
+        for key, amount in (
+            ("commands", commands),
+            ("views_created", views_created),
+            ("view_refreshes", view_refreshes),
+            ("view_invalidations", view_invalidations),
+            ("materializations", materializations),
+        ):
+            self.workspace[key] = self.workspace.get(key, 0) + int(amount)
+
     # ------------------------------------------------------------------ #
     # reading
     # ------------------------------------------------------------------ #
@@ -230,6 +265,7 @@ class EngineStats:
             "peel": dict(self.peel),
             "external": dict(sorted(self.external.items())),
             "batch": dict(sorted(self.batch.items())),
+            "workspace": dict(sorted(self.workspace.items())),
         }
 
     def reset(self) -> None:
@@ -241,6 +277,7 @@ class EngineStats:
         self.peel.clear()
         self.external.clear()
         self.batch.clear()
+        self.workspace.clear()
 
     def __repr__(self) -> str:
         return (

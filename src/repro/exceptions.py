@@ -116,3 +116,14 @@ class DatasetError(ReproError):
 
 class ValidationError(ReproError):
     """An invariant check failed (see :mod:`repro.core.validate`)."""
+
+
+class WorkspaceError(ReproError):
+    """An interactive-workspace command is invalid or cannot be executed.
+
+    Raised by :mod:`repro.workspace` for unknown names, duplicate names,
+    malformed shell commands, and remote commands issued while no service
+    connection is active.  The shell catches these (like every other
+    :class:`ReproError`) and prints a deterministic ``error:`` line
+    instead of aborting the session.
+    """

@@ -44,7 +44,7 @@ Stats.  When a ``stats`` dict is passed, the executor records
 ``batched_decrements`` (support decrements applied in array passes; 0 for
 scalar, which decrements via bucket swaps counted separately) and
 ``bound_skips`` (partner slots proven stable and skipped; 0 for scalar).
-These feed the ``peel`` section of ``repro.engine.stats/5``.
+These feed the ``peel`` section of ``repro.engine.stats/6``.
 """
 
 from __future__ import annotations

@@ -23,9 +23,11 @@ from .generators import (
     PlantedClique,
     PlantedGraph,
     barabasi_albert,
+    configuration_model,
     erdos_renyi,
     forest_fire,
     growth_snapshots,
+    kronecker,
     planted_cliques,
     powerlaw_cluster,
     random_edge_sample,
@@ -36,6 +38,7 @@ from .generators import (
 )
 from .io import (
     graph_diff,
+    read_adjacency_csv,
     read_diff,
     read_edge_list,
     read_snapshots,
@@ -83,6 +86,7 @@ __all__ = [
     "classify_edges",
     "classify_vertices",
     "complete_graph",
+    "configuration_model",
     "count_triangles",
     "edge_triangle_index",
     "enumerate_triangles",
@@ -91,6 +95,7 @@ __all__ = [
     "global_clustering_coefficient",
     "graph_diff",
     "growth_snapshots",
+    "kronecker",
     "local_clustering",
     "new_triangles_for_edge",
     "other_edges",
@@ -98,6 +103,7 @@ __all__ = [
     "powerlaw_cluster",
     "random_edge_sample",
     "random_non_edges",
+    "read_adjacency_csv",
     "read_diff",
     "read_edge_list",
     "read_snapshots",

@@ -15,7 +15,7 @@ import os
 from pathlib import Path
 from typing import Iterable, List, Tuple, Union
 
-from ..exceptions import DatasetError
+from ..exceptions import DatasetError, PersistenceError
 from .edge import Edge, canonical_edge
 from .undirected import Graph
 
@@ -65,6 +65,104 @@ def write_edge_list(graph: Graph, path: PathLike, *, header: str = "") -> None:
         handle.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
         for u, v in sorted(graph.edges(), key=repr):
             handle.write(f"{u} {v}\n")
+
+
+def _is_adjacency_edge_cell(cell: str) -> bool:
+    """True if a CSV adjacency cell denotes an edge (non-empty, non-zero)."""
+    stripped = cell.strip()
+    if not stripped:
+        return False
+    try:
+        return float(stripped) != 0.0
+    except ValueError:
+        # Non-numeric cells (edge labels, "x" markers) denote an edge.
+        return True
+
+
+def read_adjacency_csv(path: PathLike) -> Graph:
+    """Load a graph from a CSV adjacency matrix (the GCLI convention).
+
+    The first row and first column list the node ids — the corner cell is
+    ignored (conventionally blank).  A non-empty, non-zero cell at
+    ``(row u, column v)`` creates the undirected edge ``{u, v}``; cell
+    *values* (edge weights in GCLI) are not kept, only incidence.  Node
+    ids that parse as integers become int vertices, like
+    :func:`read_edge_list`.  Every listed node becomes a vertex even if
+    its row/column is all zeros (isolated vertices are preserved).
+
+    Validation — each fault raises :class:`~repro.exceptions.PersistenceError`
+    carrying the offending ``path`` and naming the bad cell:
+
+    * ragged rows (a row longer or shorter than the header);
+    * duplicate node ids in the header, or a row labelled with an id that
+      does not match the header order;
+    * asymmetric cells — ``(u, v)`` marks an edge but ``(v, u)`` does not;
+    * non-zero diagonal cells (self loops are not representable in a
+      simple graph).
+    """
+    import csv
+
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        rows = list(csv.reader(handle))
+    rows = [row for row in rows if any(cell.strip() for cell in row)]
+    if not rows:
+        raise PersistenceError(path, "empty adjacency matrix (no header row)")
+    header = rows[0]
+    if len(header) < 2:
+        raise PersistenceError(
+            path, "header must list at least one node id after the corner cell"
+        )
+    ids = [_parse_vertex(cell.strip()) for cell in header[1:]]
+    if len(set(ids)) != len(ids):
+        seen: set = set()
+        for node in ids:
+            if node in seen:
+                raise PersistenceError(
+                    path, f"duplicate node id {node!r} in header"
+                )
+            seen.add(node)
+    n = len(ids)
+    if len(rows) - 1 != n:
+        raise PersistenceError(
+            path,
+            f"expected {n} data rows (one per header id), got {len(rows) - 1}",
+        )
+    cells: List[List[str]] = []
+    for row_number, row in enumerate(rows[1:], start=1):
+        if len(row) != n + 1:
+            raise PersistenceError(
+                path,
+                f"ragged row {row_number} (node {row[0].strip()!r}): "
+                f"expected {n + 1} cells, got {len(row)}",
+            )
+        row_id = _parse_vertex(row[0].strip())
+        if row_id != ids[row_number - 1]:
+            raise PersistenceError(
+                path,
+                f"row {row_number} is labelled {row_id!r} but the header "
+                f"lists {ids[row_number - 1]!r} at that position",
+            )
+        cells.append(row[1:])
+    graph = Graph(vertices=ids)
+    for i, u in enumerate(ids):
+        for j, v in enumerate(ids):
+            if not _is_adjacency_edge_cell(cells[i][j]):
+                continue
+            if i == j:
+                raise PersistenceError(
+                    path,
+                    f"cell ({u!r}, {v!r}) = {cells[i][j].strip()!r} is a "
+                    "self loop; simple graphs have a zero diagonal",
+                )
+            if not _is_adjacency_edge_cell(cells[j][i]):
+                raise PersistenceError(
+                    path,
+                    f"asymmetric cell: ({u!r}, {v!r}) = "
+                    f"{cells[i][j].strip()!r} but ({v!r}, {u!r}) = "
+                    f"{cells[j][i].strip()!r}",
+                )
+            graph.add_edge(u, v, exist_ok=True)
+    return graph
 
 
 def write_diff(

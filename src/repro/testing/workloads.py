@@ -26,6 +26,17 @@ dynamic maintenance algorithms:
     duplicate insertions, deletions of absent edges, removals of absent
     vertices — checking that error paths reject cleanly *without* corrupting
     maintained state.
+``heavy_tail``
+    Builds an erased-configuration-model backbone with a power-law-ish
+    degree sequence, then churns with hub-biased endpoint choice — most
+    updates land on a few high-degree vertices whose triangle
+    neighborhoods are large (the regime BA/R-MAT graphs put the
+    maintainers in, which the flat-pool profiles above never reach).
+``self_similar``
+    Builds a stochastic-Kronecker backbone (recursive community
+    structure at every scale), then toggles edges inside sampled
+    communities so cascades repeatedly cross the self-similar block
+    boundaries.
 """
 
 from __future__ import annotations
@@ -196,6 +207,89 @@ def adversarial(seed: int, n_ops: int, *, n_vertices: int = 16) -> EditScript:
     return EditScript(ops=ops[:n_ops], name=f"adversarial/seed={seed}")
 
 
+def _backbone_then_churn(
+    base: Graph,
+    rng: random.Random,
+    n_ops: int,
+    pick_pair: Callable[[random.Random, Graph], Tuple[Vertex, Vertex]],
+    name: str,
+) -> EditScript:
+    """Shared shape of the generator-backed profiles.
+
+    Phase 1 inserts the backbone graph's edges (canonical order, capped
+    at two thirds of the op budget so there is always a churn phase);
+    phase 2 toggles pairs chosen by ``pick_pair`` against the live
+    shadow state until the budget is spent.
+    """
+    pool = sorted(base.vertices(), key=repr)
+    state = Graph(vertices=pool)
+    ops: List[EditOp] = []
+    build_budget = max(1, (2 * n_ops) // 3)
+    for u, v in sorted(base.edges(), key=repr):
+        if len(ops) >= build_budget:
+            break
+        ops.append(EditOp("add", u, v))
+        state.add_edge(u, v)
+    while len(ops) < n_ops:
+        u, v = pick_pair(rng, state)
+        if u == v:
+            continue
+        _toggle(state, ops, u, v)
+    return EditScript(ops=ops[:n_ops], name=name)
+
+
+def heavy_tail(seed: int, n_ops: int, *, n_vertices: int = 30) -> EditScript:
+    """Hub-biased churn over an erased-configuration-model backbone."""
+    from ..graph.generators import configuration_model
+
+    rng = random.Random(f"heavy_tail:{seed}")
+    # Zipf-ish decreasing degree sequence: a few hubs, a long tail of
+    # degree-2 vertices; padded by one stub if the sum comes out odd.
+    degrees = [
+        max(2, int(round(n_vertices / (rank + 1) ** 0.8)))
+        for rank in range(n_vertices)
+    ]
+    if sum(degrees) % 2 != 0:
+        degrees[-1] += 1
+    base = configuration_model(degrees, seed=seed)
+    pool = sorted(base.vertices(), key=repr)
+
+    def pick_pair(r: random.Random, state: Graph) -> Tuple[Vertex, Vertex]:
+        # Hub bias: one endpoint by degree-weighted choice over the
+        # *target* sequence (stable across the run), the other uniform.
+        u = r.choices(pool, weights=degrees)[0]
+        v = r.choice(pool)
+        return u, v
+
+    return _backbone_then_churn(
+        base, rng, n_ops, pick_pair, f"heavy_tail/seed={seed}"
+    )
+
+
+def self_similar(seed: int, n_ops: int, *, iterations: int = 5) -> EditScript:
+    """Community-local churn over a stochastic-Kronecker backbone."""
+    from ..graph.generators import kronecker
+
+    rng = random.Random(f"self_similar:{seed}")
+    initiator = [[0.95, 0.4], [0.4, 0.65]]
+    base = kronecker(initiator, iterations, seed=seed)
+    n = base.num_vertices
+
+    def pick_pair(r: random.Random, state: Graph) -> Tuple[Vertex, Vertex]:
+        # Pick a self-similar block (a base-2 prefix) and toggle inside
+        # it, so edits concentrate in one community at a random scale.
+        level = r.randint(1, iterations - 1)
+        block = n >> level
+        start = r.randrange(0, n - block + 1, block)
+        u = start + r.randrange(block)
+        v = start + r.randrange(block)
+        return u, v
+
+    return _backbone_then_churn(
+        base, rng, n_ops, pick_pair, f"self_similar/seed={seed}"
+    )
+
+
 #: Profile registry: name -> generator callable.
 PROFILES: Dict[str, Callable[[int, int], EditScript]] = {
     "uniform": uniform_mix,
@@ -203,6 +297,8 @@ PROFILES: Dict[str, Callable[[int, int], EditScript]] = {
     "triangle_bursts": triangle_bursts,
     "grow_shrink": grow_shrink,
     "adversarial": adversarial,
+    "heavy_tail": heavy_tail,
+    "self_similar": self_similar,
 }
 
 

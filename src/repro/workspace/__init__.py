@@ -1,0 +1,37 @@
+"""Interactive multi-graph workspace: named graphs, live views, replay.
+
+The analyst-facing interaction layer over everything the library builds:
+
+* :class:`Workspace` — a session holding multiple named graphs (from
+  datasets, edge-list files, CSV adjacency matrices, or generators) and
+  named subgraph :class:`View` recipes over them (community extractions,
+  κ≥k slices, template hits, explicit vertex sets), all analyzed through
+  one shared warm :class:`~repro.engine.Engine`;
+* :mod:`~repro.workspace.commands` — the deterministic line-in/lines-out
+  command dispatcher behind the ``triangle-kcore shell`` REPL;
+* :class:`SessionLog` — the ``repro.workspace-session/1`` JSON record
+  every command appends to, re-executed byte-for-byte by
+  ``shell --replay``;
+* :mod:`~repro.workspace.shell` — the REPL / script / replay driver.
+
+See docs/WORKSPACE.md for the command reference and view semantics.
+"""
+
+from .commands import ShellContext, execute
+from .log import SESSION_SCHEMA, SessionLog
+from .session import Workspace
+from .shell import replay_session, run_lines, run_shell
+from .views import VIEW_KINDS, View
+
+__all__ = [
+    "SESSION_SCHEMA",
+    "SessionLog",
+    "ShellContext",
+    "VIEW_KINDS",
+    "View",
+    "Workspace",
+    "execute",
+    "replay_session",
+    "run_lines",
+    "run_shell",
+]

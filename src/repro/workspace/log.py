@@ -1,0 +1,93 @@
+"""Session logs: the JSON record replayed by ``shell --replay``.
+
+Format (``repro.workspace-session/1``)::
+
+    {
+      "format": "repro.workspace-session/1",
+      "commands": [
+        {"line": "load g karate", "output": ["graph g: |V|=34 |E|=78"]},
+        ...
+      ]
+    }
+
+``commands[i].line`` is the exact command as typed and
+``commands[i].output`` the exact lines it printed.  Because command
+output is deterministic (no timings/ports/uptimes — see
+:mod:`repro.workspace.commands`), re-executing the lines against a
+fresh workspace must reproduce every output byte-for-byte; ``--replay``
+asserts exactly that, which is the shell's script-in/answers-out CI
+contract (the same shape the fuzz harness's repro bundles use).
+
+Malformed files raise the library's typed
+:class:`~repro.exceptions.PersistenceError` carrying the path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from ..exceptions import PersistenceError
+
+PathLike = Union[str, os.PathLike]
+
+#: Format tag of the session-log payload; bump on schema changes.
+SESSION_SCHEMA = "repro.workspace-session/1"
+
+
+@dataclass
+class SessionLog:
+    """An ordered list of ``{"line": ..., "output": [...]}`` entries."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    def record(self, line: str, output: List[str]) -> None:
+        self.entries.append({"line": line, "output": list(output)})
+
+    def to_json_obj(self) -> Dict[str, object]:
+        return {"format": SESSION_SCHEMA, "commands": list(self.entries)}
+
+    def save(self, path: PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_obj(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SessionLog":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise PersistenceError(path, f"cannot read session log: {exc}")
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(path, f"invalid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise PersistenceError(path, "session log must be a JSON object")
+        if payload.get("format") != SESSION_SCHEMA:
+            raise PersistenceError(
+                path,
+                f"unsupported session format {payload.get('format')!r} "
+                f"(expected {SESSION_SCHEMA!r})",
+            )
+        commands = payload.get("commands")
+        if not isinstance(commands, list):
+            raise PersistenceError(path, "'commands' must be a list")
+        entries: List[Dict[str, object]] = []
+        for index, entry in enumerate(commands):
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("line"), str)
+                or not isinstance(entry.get("output"), list)
+                or not all(isinstance(s, str) for s in entry["output"])
+            ):
+                raise PersistenceError(
+                    path,
+                    f"commands[{index}] must be "
+                    "{'line': str, 'output': [str, ...]}",
+                )
+            entries.append(
+                {"line": entry["line"], "output": list(entry["output"])}
+            )
+        return cls(entries=entries)

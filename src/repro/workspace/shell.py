@@ -1,0 +1,156 @@
+"""The ``triangle-kcore shell`` driver: REPL, scripts, and replay.
+
+Three entry modes, all sharing one :class:`ShellContext`:
+
+* **interactive / piped** — read command lines from stdin (a prompt is
+  printed only when stdin is a tty, so piped scripts stay clean);
+* **``--script FILE``** — read command lines from a file;
+* **``--replay SESSION.json``** — re-execute a saved session log and
+  assert every command's output is byte-for-byte identical to the
+  recording (exit 1 on any mismatch).
+
+Output discipline: each executed command's output lines go to stdout;
+replay mismatch diagnostics go to stderr, so a ``--stats`` JSON object
+is always the last stdout line (the same contract every other
+stats-bearing subcommand obeys).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Optional, TextIO, Tuple
+
+from ..exceptions import WorkspaceError
+from .commands import ShellContext, execute
+from .log import SessionLog
+from .session import Workspace
+
+PROMPT = "tk> "
+
+
+def parse_connect_override(text: Optional[str]) -> Optional[Tuple[str, int]]:
+    """Parse a ``HOST:PORT`` override (the ``shell --connect`` flag)."""
+    if text is None:
+        return None
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise WorkspaceError(
+            f"--connect expects HOST:PORT, got {text!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise WorkspaceError(
+            f"--connect expects an integer port, got {port!r}"
+        )
+
+
+def run_lines(
+    ctx: ShellContext,
+    lines: Iterable[str],
+    *,
+    out: TextIO,
+    prompt: bool = False,
+) -> None:
+    """Execute command lines until exhausted or an ``exit`` command."""
+    if prompt:
+        out.write(PROMPT)
+        out.flush()
+    for line in lines:
+        output = execute(ctx, line)
+        if output:
+            for text in output:
+                out.write(text + "\n")
+        if ctx.done:
+            break
+        if prompt:
+            out.write(PROMPT)
+            out.flush()
+
+
+def replay_session(
+    ctx: ShellContext,
+    path: str,
+    *,
+    out: TextIO,
+    err: TextIO,
+) -> int:
+    """Re-execute a saved session; returns the number of mismatches.
+
+    Every command's live output is printed to ``out`` (so a clean
+    replay's stdout reproduces the original session's answers), and
+    compared byte-for-byte against the recorded output; differences are
+    reported on ``err``.
+    """
+    log = SessionLog.load(path)
+    mismatches = 0
+    for index, entry in enumerate(log.entries):
+        line = str(entry["line"])
+        expected = list(entry["output"])
+        output = execute(ctx, line)
+        actual = list(output) if output is not None else []
+        for text in actual:
+            out.write(text + "\n")
+        if actual != expected:
+            mismatches += 1
+            err.write(
+                f"replay mismatch at command {index} ({line!r}):\n"
+                f"  expected: {expected!r}\n"
+                f"  actual:   {actual!r}\n"
+            )
+        if ctx.done:
+            break
+    if mismatches:
+        err.write(
+            f"{mismatches} of {len(log.entries)} command(s) diverged\n"
+        )
+    return mismatches
+
+
+def run_shell(
+    workspace: Workspace,
+    *,
+    script: Optional[str] = None,
+    replay: Optional[str] = None,
+    save: Optional[str] = None,
+    connect: Optional[str] = None,
+    stdin: Optional[TextIO] = None,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Drive one shell session end to end; returns the exit code."""
+    stdin = stdin if stdin is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    ctx = ShellContext(
+        workspace=workspace,
+        connect_override=parse_connect_override(connect),
+    )
+    exit_code = 0
+    if replay is not None:
+        if replay_session(ctx, replay, out=out, err=err):
+            exit_code = 1
+    elif script is not None:
+        with open(script, "r", encoding="utf-8") as handle:
+            run_lines(ctx, handle, out=out)
+    else:
+        interactive = hasattr(stdin, "isatty") and stdin.isatty()
+        run_lines(ctx, stdin, out=out, prompt=interactive)
+    if save is not None:
+        SessionLog(entries=list(ctx.log)).save(save)
+    return exit_code
+
+
+def session_log_of(ctx: ShellContext) -> SessionLog:
+    """The context's live log as a saveable :class:`SessionLog`."""
+    return SessionLog(entries=list(ctx.log))
+
+
+__all__: List[str] = [
+    "PROMPT",
+    "parse_connect_override",
+    "replay_session",
+    "run_lines",
+    "run_shell",
+    "session_log_of",
+]

@@ -1,0 +1,80 @@
+"""Named subgraph views: recipes over a backing workspace graph.
+
+A :class:`View` is *not* a copy of a subgraph — it is a named **recipe**
+(community extraction, κ≥k slice, template hits, or an explicit vertex
+set) over one backing graph, plus the cached result of evaluating that
+recipe.  The workspace evaluates recipes lazily and re-materializes the
+induced subgraph at most once per backing-graph version, so repeated
+view-scoped analyses hit the engine's version-keyed artifact cache.
+
+Liveness contract (see docs/WORKSPACE.md):
+
+* editing the backing graph marks every dependent view **stale**;
+* a stale *recipe* view (``community`` / ``slice`` / ``template``) is
+  re-derived from the current graph the next time it is used;
+* a stale ``vertices`` view keeps its explicit vertex list and simply
+  re-materializes it intersected with the vertices still alive;
+* dropping the backing graph drops its views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..graph.edge import Vertex
+from ..graph.undirected import Graph
+
+#: The recipe kinds a view can carry.
+VIEW_KINDS = ("community", "slice", "template", "vertices")
+
+
+@dataclass
+class View:
+    """One named subgraph recipe plus its cached evaluation.
+
+    ``vertices`` / ``derived_at`` / ``stale`` are maintained by the
+    owning :class:`~repro.workspace.session.Workspace`; ``baseline`` is
+    only set for ``template`` views (the backing graph snapshotted at
+    view creation, the "old" side of the template detection).
+    """
+
+    name: str
+    kind: str
+    graph_name: str
+    params: Dict[str, object]
+    #: Evaluated membership, sorted by ``repr`` (deterministic).
+    vertices: Tuple[Vertex, ...] = ()
+    #: Backing-graph version the membership was derived at.
+    derived_at: int = -1
+    #: True until first derivation and after every backing-graph edit.
+    stale: bool = True
+    #: Template views: snapshot of the backing graph at creation time.
+    baseline: Optional[Graph] = None
+    #: Cached induced subgraph + the backing version it was built at.
+    _materialized: Optional[Graph] = field(default=None, repr=False)
+    _materialized_at: int = field(default=-1, repr=False)
+
+    def invalidate(self) -> None:
+        """Mark the cached evaluation out of date (backing graph edited)."""
+        self.stale = True
+        self._materialized = None
+        self._materialized_at = -1
+
+    def cached_subgraph(self, version: int) -> Optional[Graph]:
+        """The materialized subgraph if still valid at ``version``."""
+        if self._materialized is not None and self._materialized_at == version:
+            return self._materialized
+        return None
+
+    def cache_subgraph(self, subgraph: Graph, version: int) -> None:
+        self._materialized = subgraph
+        self._materialized_at = version
+
+    def describe(self) -> str:
+        """One deterministic summary line (used by the ``views`` command)."""
+        state = "stale" if self.stale else "fresh"
+        return (
+            f"{self.name}: kind={self.kind} graph={self.graph_name} "
+            f"|V|={len(self.vertices)} {state}"
+        )

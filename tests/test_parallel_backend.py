@@ -405,7 +405,7 @@ class TestAutoPolicy:
 
 class TestStatsSchema:
     def test_schema_bumped(self):
-        assert STATS_SCHEMA == "repro.engine.stats/5"
+        assert STATS_SCHEMA == "repro.engine.stats/6"
 
     def test_v1_keys_still_present(self):
         # /2 is a strict superset of /1: old readers must keep working.
@@ -431,7 +431,7 @@ class TestStatsSchema:
         engine = Engine(workers=3, max_cached_graphs=0)
         engine.decompose(er(seed=9), backend="parallel")
         payload = engine.stats_dict()
-        assert payload["schema"] == "repro.engine.stats/5"
+        assert payload["schema"] == "repro.engine.stats/6"
         assert payload["backend_calls"]["parallel"] == 1
         section = payload["parallel"]
         assert section["workers"] == 3

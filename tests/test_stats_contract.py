@@ -2,9 +2,10 @@
 
 Contract: with ``--stats``, a subcommand's **last stdout line** is exactly
 one JSON object validating against the engine stats schema
-(``repro.engine.stats/5``) — everything human-readable goes above it, so
+(``repro.engine.stats/6``) — everything human-readable goes above it, so
 scripts can always ``tail -1 | jq``.  The ``serve`` subcommand honours the
-same contract by dumping stats after its SIGTERM drain.
+same contract by dumping stats after its SIGTERM drain, and ``shell`` by
+dumping stats after its last command.
 
 Also pins the package version single-source-of-truth:
 ``repro.__version__`` == ``pyproject.toml`` == ``--version`` output.
@@ -25,7 +26,7 @@ from repro.graph import Graph, write_edge_list
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Required top-level keys of the stats /5 schema.
+#: Required top-level keys of the stats /6 schema.
 STATS_KEYS = {
     "schema",
     "counters",
@@ -35,6 +36,7 @@ STATS_KEYS = {
     "peel",
     "external",
     "batch",
+    "workspace",
     "default_backend",
     "cached_graphs",
     "cached_artifacts",
@@ -47,7 +49,7 @@ def assert_stats_contract(stdout: str) -> dict:
     assert lines, "no output produced"
     payload = json.loads(lines[-1])
     assert isinstance(payload, dict)
-    assert payload["schema"] == "repro.engine.stats/5"
+    assert payload["schema"] == "repro.engine.stats/6"
     assert STATS_KEYS <= set(payload), sorted(STATS_KEYS - set(payload))
     # Exactly one JSON object: the line above it (if any) must NOT parse
     # as a JSON object (it is human-readable prose).
@@ -88,10 +90,11 @@ def _stats_argvs(edge_file, tmp_path):
 class TestSchemaCompat:
     """Each schema bump is a strict superset of its predecessor.
 
-    Mirrors the /1 -> /2 pattern: a reader written against /4 (or /1-/3)
-    keeps working against /5 because no key was renamed or removed — /4
+    Mirrors the /1 -> /2 pattern: a reader written against /5 (or /1-/4)
+    keeps working against /6 because no key was renamed or removed — /4
     only added the "peel" section and the "transport"/"bytes_shipped"
-    members of "parallel", and /5 only added the "external" section.
+    members of "parallel", /5 only added the "external" section, and /6
+    only added the "workspace" section.
     """
 
     V3_KEYS = {
@@ -99,14 +102,32 @@ class TestSchemaCompat:
         "parallel", "batch",
     }
     V4_KEYS = V3_KEYS | {"peel"}
+    V5_KEYS = V4_KEYS | {"external"}
 
-    def test_v5_is_strict_superset_of_v3_and_v4(self):
+    def test_v6_is_strict_superset_of_v3_through_v5(self):
         from repro.engine import EngineStats
 
         payload = EngineStats().as_dict()
         assert self.V3_KEYS < set(payload)
         assert self.V4_KEYS < set(payload)
-        assert set(payload) - self.V4_KEYS == {"external"}
+        assert self.V5_KEYS < set(payload)
+        assert set(payload) - self.V5_KEYS == {"workspace"}
+
+    def test_workspace_section_populates_from_workspace_use(self):
+        from repro.engine import Engine
+        from repro.graph import complete_graph
+        from repro.workspace import Workspace
+
+        engine = Engine()
+        ws = Workspace(engine=engine)
+        ws.add_graph("k6", complete_graph(6))
+        ws.create_view("hot", "slice", "k6", {"k": 1})
+        ws.decompose("hot")
+        section = engine.stats_dict()["workspace"]
+        assert section["graphs"] == 1
+        assert section["views"] == 1
+        assert section["views_created"] == 1
+        assert section["materializations"] >= 1
 
     def test_external_section_populates_from_external_run(self):
         from repro.engine import Engine
@@ -167,6 +188,17 @@ class TestStatsContract:
         ):
             assert main(argv) == 0, argv
             assert_stats_contract(capsys.readouterr().out)
+
+    def test_shell_emits_exactly_one_stats_object(self, tmp_path, capsys):
+        script = tmp_path / "script.txt"
+        script.write_text(
+            "load g karate\nview slice hot g 2\nrun decompose hot\n"
+        )
+        assert main(["shell", "--script", str(script), "--stats"]) == 0
+        payload = assert_stats_contract(capsys.readouterr().out)
+        assert payload["workspace"]["commands"] == 3
+        assert payload["workspace"]["views"] == 1
+        assert payload["workspace"]["graphs"] == 1
 
     def test_without_flag_no_stats_line(self, edge_file, capsys):
         assert main(["decompose", edge_file]) == 0
